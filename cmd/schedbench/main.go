@@ -1,0 +1,67 @@
+// Command schedbench regenerates the tables and figures of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	schedbench -list                 # list the experiment suite
+//	schedbench -exp E1               # run one experiment
+//	schedbench -exp all              # run the whole suite
+//	schedbench -exp E1 -quick        # scaled-down sizes (CI smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		quick = flag.Bool("quick", false, "run scaled-down instances")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %-6s %s\n       claim: %s\n", e.ID, e.Kind, e.Title, e.Claim)
+		}
+		return
+	}
+	cfg := bench.Config{Quick: *quick}
+	run := func(e bench.Experiment) error {
+		out, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			if c, ok := out.(interface{ CSV() string }); ok {
+				fmt.Printf("# %s %s\n%s\n", e.ID, e.Title, c.CSV())
+				return nil
+			}
+		}
+		fmt.Println(out)
+		return nil
+	}
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "schedbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

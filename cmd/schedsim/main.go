@@ -1,0 +1,135 @@
+// Command schedsim runs one scheduling policy on a JSON trace (produced by
+// cmd/tracegen) and reports the audited metrics.
+//
+// Usage:
+//
+//	schedsim -policy flowtime -eps 0.2 trace.json
+//	schedsim -policy speedscale -eps 0.3 -alpha 2 trace.json
+//	schedsim -policy energymin deadline.json
+//	schedsim -policy greedy trace.json
+//	schedsim -policy flowtime -eps 0.2 -dump out.json trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core/energymin"
+	"repro/internal/core/flowtime"
+	"repro/internal/core/speedscale"
+	"repro/internal/gantt"
+	"repro/internal/lowerbound"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		policy = flag.String("policy", "flowtime", "flowtime|speedscale|energymin|avr|greedy|fcfs|leastloaded|speedaug|immediate")
+		eps    = flag.Float64("eps", 0.2, "rejection parameter ε")
+		alpha  = flag.Float64("alpha", 0, "power exponent override (0: use trace)")
+		epsS   = flag.Float64("epsS", 0.2, "speed augmentation (speedaug)")
+		dump   = flag.String("dump", "", "write the outcome JSON to this file")
+		showG  = flag.Bool("gantt", false, "print an ASCII machine timeline")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: schedsim [flags] trace.json")
+		os.Exit(2)
+	}
+	ins, err := trace.LoadInstance(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var out *sched.Outcome
+	mode := sched.ValidateMode{}
+	switch *policy {
+	case "flowtime":
+		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: *eps})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+		mode.RequireUnitSpeed = true
+	case "speedscale":
+		res, err := speedscale.Run(ins, speedscale.Options{Epsilon: *eps, Alpha: *alpha})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+	case "energymin", "avr":
+		res, err := energymin.Run(ins, energymin.Options{Alpha: *alpha, FullWindowOnly: *policy == "avr"})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+		mode.AllowParallel = true
+		mode.RequireDeadlines = true
+	case "greedy":
+		out, err = baseline.GreedySPT(ins)
+	case "fcfs":
+		out, err = baseline.FCFS(ins)
+	case "leastloaded":
+		out, err = baseline.LeastLoaded(ins)
+	case "speedaug":
+		out, err = baseline.SpeedAugmented(ins, *epsS, *eps)
+	case "immediate":
+		out, err = baseline.ImmediateReject(ins, *eps, 3)
+	default:
+		fmt.Fprintf(os.Stderr, "schedsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := sched.ValidateOutcome(ins, out, mode); err != nil {
+		fatal(fmt.Errorf("outcome failed audit: %w", err))
+	}
+	m, err := sched.ComputeMetrics(ins, out)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("schedsim: %s on %s (n=%d, m=%d)", *policy, flag.Arg(0), len(ins.Jobs), ins.Machines),
+		"metric", "value")
+	t.AddRowf("total flow", m.TotalFlow)
+	t.AddRowf("weighted flow", m.WeightedFlow)
+	if ins.Alpha > 0 {
+		t.AddRowf("energy", m.Energy)
+		t.AddRowf("wflow+energy", m.WeightedFlowPlusEnergy())
+	}
+	t.AddRowf("mean flow", m.MeanFlow)
+	t.AddRowf("p99 flow", m.P99Flow)
+	t.AddRowf("max flow", m.MaxFlow)
+	t.AddRowf("completed", m.Completed)
+	t.AddRowf("rejected", m.Rejected)
+	t.AddRowf("rejected weight", m.RejectedWeight)
+	t.AddRowf("makespan", m.Makespan)
+	t.AddRowf("LB Σ min p", lowerbound.MinProcSum(ins))
+	t.AddRowf("LB pooled SRPT", lowerbound.SRPTBound(ins))
+	fmt.Println(t)
+
+	if *showG {
+		fmt.Print(gantt.Render(ins, out, 100, 0))
+	}
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteOutcome(f, out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command tracegen generates workload instances as JSON traces for
+// cmd/schedsim.
+//
+// Usage:
+//
+//	tracegen -n 500 -m 4 -seed 7 -kind uniform  > trace.json
+//	tracegen -kind pareto -load 1.2             > heavy.json
+//	tracegen -kind deadline -horizon 200        > deadline.json
+//	tracegen -kind lemma1 -L 32                 > adversarial.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 500, "number of jobs")
+		m        = flag.Int("m", 4, "number of machines")
+		seed     = flag.Int64("seed", 1, "rng seed")
+		kind     = flag.String("kind", "uniform", "uniform|pareto|bimodal|bursty|deadline|lemma1")
+		load     = flag.Float64("load", 0.9, "offered load (arrival workloads)")
+		weighted = flag.Bool("weighted", false, "draw job weights from [1,10]")
+		alpha    = flag.Float64("alpha", 2, "power exponent (deadline workloads)")
+		horizon  = flag.Int("horizon", 200, "slot horizon (deadline workloads)")
+		slack    = flag.Float64("slack", 2, "deadline slack factor (deadline workloads)")
+		l        = flag.Float64("L", 16, "big-job length (lemma1 workloads; Δ=L²)")
+		eps      = flag.Float64("eps", 0.5, "epsilon (lemma1 workloads)")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var ins *sched.Instance
+	switch *kind {
+	case "uniform", "pareto", "bimodal", "bursty":
+		cfg := workload.DefaultConfig(*n, *m, *seed)
+		cfg.Load = *load
+		cfg.Weighted = *weighted
+		switch *kind {
+		case "pareto":
+			cfg.Sizes = workload.SizePareto
+			cfg.MaxSize = 100
+		case "bimodal":
+			cfg.Sizes = workload.SizeBimodal
+		case "bursty":
+			cfg.Arrivals = workload.ArrivalsBursty
+			cfg.BurstSize = 20
+		}
+		ins = workload.Random(cfg)
+		ins.Alpha = *alpha
+	case "deadline":
+		ins = workload.RandomDeadline(workload.DeadlineConfig{
+			N: *n, M: *m, Seed: *seed, Horizon: *horizon,
+			MinVol: 1, MaxVol: 8, Slack: *slack, Alpha: *alpha,
+		})
+	case "lemma1":
+		ins = workload.Lemma1Instance(*l, *eps)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteInstance(w, ins); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a full reproduction of "Online Non-preemptive Scheduling
+// on Unrelated Machines with Rejections" (Lucarelli, Moseley, Thang,
+// Srivastav, Trystram — SPAA 2018, arXiv:1802.10309) as a production-quality
+// Go library.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points are:
+//
+//   - cmd/schedbench — regenerate every experiment table/figure
+//   - cmd/tracegen, cmd/schedsim — generate workload traces and replay them
+//     under any implemented policy
+//   - examples/* — five runnable scenarios built on the library API
+//
+// The benchmarks in bench_test.go (this package) drive the experiment suite
+// through `go test -bench`, one benchmark per table/figure of
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,56 @@
+// Quickstart: schedule a handful of jobs on two unrelated machines with the
+// paper's flow-time algorithm (Theorem 1) and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/gantt"
+	"repro/internal/sched"
+)
+
+func main() {
+	// Five jobs; Proc[i] is the processing time on machine i — machine 1
+	// is fast for even jobs, machine 0 for odd ones.
+	ins := &sched.Instance{
+		Machines: 2,
+		Jobs: []sched.Job{
+			{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{9, 3}},
+			{ID: 1, Release: 1, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2, 7}},
+			{ID: 2, Release: 2, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{8, 2}},
+			{ID: 3, Release: 2, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{1, 6}},
+			{ID: 4, Release: 3, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{5, 5}},
+		},
+	}
+
+	// ε = 0.25: the scheduler may reject up to 2ε = 50% of jobs in the
+	// worst case and is 2((1+ε)/ε)² = 50-competitive.
+	res, err := flowtime.Run(ins, flowtime.Options{Epsilon: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("executions:")
+	ivs := append([]sched.Interval(nil), res.Outcome.Intervals...)
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+	for _, iv := range ivs {
+		fmt.Printf("  job %d on machine %d: [%.1f, %.1f)\n", iv.Job, iv.Machine, iv.Start, iv.End)
+	}
+	for id, t := range res.Outcome.Rejected {
+		fmt.Printf("  job %d rejected at t=%.1f\n", id, t)
+	}
+
+	m, err := sched.ComputeMetrics(ins, res.Outcome)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total flow time: %.1f (mean %.2f), rejected %d/%d jobs\n",
+		m.TotalFlow, m.MeanFlow, m.Rejected, len(ins.Jobs))
+	fmt.Println()
+	fmt.Print(gantt.Render(ins, res.Outcome, 54, 0))
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core/energymin"
+	"repro/internal/core/wflow"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E12", Kind: "table",
+		Title: "Ablation: strategy-grid discretization of the §4 speed set",
+		Claim: "§4 formulation: discretized speeds lose only a (1+ε) factor",
+		Run:   runE12,
+	})
+	register(Experiment{
+		ID: "E13", Kind: "table",
+		Title: "Extension: weighted flow time with budgeted rejections",
+		Claim: "open problem beyond Theorem 1 (weighted case, no speed scaling)",
+		Run:   runE13,
+	})
+}
+
+// runE12 sweeps the geometric length-grid ratio of the energy greedy (the
+// paper's discretized speed set): energy should degrade by at most roughly
+// the grid ratio while placement time shrinks.
+func runE12(cfg Config) (fmt.Stringer, error) {
+	n := cfg.scale(150, 40)
+	horizon := cfg.scale(250, 60)
+	ins := workload.RandomDeadline(workload.DeadlineConfig{
+		N: n, M: 2, Seed: 9, Horizon: horizon, MinVol: 1, MaxVol: 10, Slack: 4, Alpha: 2,
+	})
+	t := stats.NewTable("E12 — length-grid ablation (α=2, slack 4)",
+		"grid ratio", "energy", "vs exhaustive", "candidates/job", "place ms")
+	var exact float64
+	for _, ratio := range []float64{0, 1.1, 1.25, 1.5, 2.0} {
+		start := time.Now()
+		res, err := energymin.Run(ins, energymin.Options{LengthGridRatio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		if ratio == 0 {
+			exact = res.Energy
+		}
+		label := "exhaustive"
+		if ratio > 0 {
+			label = stats.Fmt(ratio)
+		}
+		// Candidate count per job ≈ number of grid lengths × horizon; report
+		// the grid size on the maximal window as the proxy.
+		s, err := energymin.New(energymin.Options{Machines: 2, Alpha: 2, Horizon: horizon, LengthGridRatio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(label, res.Energy, res.Energy/exact,
+			s.GridSize(horizon), float64(el.Milliseconds()))
+	}
+	return t, nil
+}
+
+// runE13 evaluates the weighted-flow-time extension (internal/core/wflow)
+// against weight-oblivious baselines and its 2ε·W rejected-weight budget.
+func runE13(cfg Config) (fmt.Stringer, error) {
+	n := cfg.scale(1200, 150)
+	t := stats.NewTable("E13 — weighted flow extension (n="+fmt.Sprint(n)+", m=3, weighted jobs)",
+		"load", "policy", "weighted flow", "rejW%", "budget 2ε%")
+	for _, load := range []float64{0.9, 1.3} {
+		wcfg := workload.DefaultConfig(n, 3, 55)
+		wcfg.Weighted = true
+		wcfg.Load = load
+		ins := workload.Random(wcfg)
+		w := ins.TotalWeight()
+		for _, eps := range []float64{0.1, 0.3} {
+			res, err := wflow.Run(ins, wflow.Options{Epsilon: eps})
+			if err != nil {
+				return nil, err
+			}
+			m, err := sched.ComputeMetrics(ins, res.Outcome)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(load, fmt.Sprintf("wflow(ε=%v)", eps), m.WeightedFlow,
+				100*res.RejectedWeight/w, 100*2*eps)
+		}
+		comparators := []struct {
+			name string
+			run  func(*sched.Instance) (*sched.Outcome, error)
+		}{
+			{"HDF no-rejection", func(in *sched.Instance) (*sched.Outcome, error) {
+				return baseline.Run(in, baseline.Config{
+					Dispatch: baseline.DispatchBacklog, Order: baseline.OrderHDF, Speed: 1,
+				})
+			}},
+			{"greedy-SPT (oblivious)", baseline.GreedySPT},
+		}
+		for _, c := range comparators {
+			name, run := c.name, c.run
+			out, err := run(ins)
+			if err != nil {
+				return nil, err
+			}
+			m, err := sched.ComputeMetrics(ins, out)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(load, name, m.WeightedFlow, 0.0, "-")
+		}
+	}
+	return t, nil
+}

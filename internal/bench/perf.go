@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E10", Kind: "table",
+		Title: "Scheduler overhead: dispatch cost scaling",
+		Claim: "design: O(m log n) dispatch via the order-statistic treap",
+		Run:   runE10,
+	})
+}
+
+func runE10(cfg Config) (fmt.Stringer, error) {
+	sizes := []int{1000, 10000, 50000}
+	if cfg.Quick {
+		sizes = []int{500, 2000}
+	}
+	t := stats.NewTable("E10 — flow-time scheduler overhead (m=8, ε=0.2)",
+		"jobs", "wall ms", "ns/job", "events ok")
+	for _, n := range sizes {
+		c := workload.DefaultConfig(n, 8, 3)
+		c.Load = 1.1
+		ins := workload.Random(c)
+		start := time.Now()
+		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: 0.2})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
+			return nil, fmt.Errorf("E10: invalid outcome at n=%d: %w", n, err)
+		}
+		t.AddRowf(n, float64(el.Milliseconds()),
+			float64(el.Nanoseconds())/float64(n),
+			okMark(len(res.Outcome.Completed)+len(res.Outcome.Rejected) == n))
+	}
+	return t, nil
+}

@@ -1,0 +1,161 @@
+package energymin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestAuditAgainstFullWindowConfiguration(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2, 3} {
+		for seed := int64(0); seed < 5; seed++ {
+			ins := workload.RandomDeadline(workload.DeadlineConfig{
+				N: 40, M: 2, Seed: seed, Horizon: 60, MinVol: 1, MaxVol: 6, Slack: 2.5, Alpha: alpha,
+			})
+			alt := FullWindowConfiguration(ins, 60)
+			audit, err := AuditConfiguration(ins, Options{}, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// First dual constraint: the greedy marginal never exceeds
+			// the alternative's marginal at commitment time.
+			if audit.GreedyExcess > 1e-9 {
+				t.Fatalf("α=%v seed=%d: greedy minimality violated by %v", alpha, seed, audit.GreedyExcess)
+			}
+			// Second dual constraint (inequality (1)) with certified (λ,µ).
+			if audit.ConfigExcess > 1e-6 {
+				t.Fatalf("α=%v seed=%d: configuration constraint violated by %v (λ=%v µ=%v)",
+					alpha, seed, audit.ConfigExcess, audit.Lambda, audit.Mu)
+			}
+		}
+	}
+}
+
+func TestAuditAgainstRandomConfigurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		ins := workload.RandomDeadline(workload.DeadlineConfig{
+			N: 30, M: 2, Seed: int64(trial), Horizon: 50, MinVol: 1, MaxVol: 5, Slack: 3, Alpha: 2,
+		})
+		alt := make(map[int]Placement, len(ins.Jobs))
+		for k := range ins.Jobs {
+			j := &ins.Jobs[k]
+			r := int(math.Ceil(j.Release - sched.Eps))
+			d := int(math.Floor(j.Deadline + sched.Eps))
+			length := 1 + rng.Intn(d-r)
+			start := r + rng.Intn(d-r-length+1)
+			alt[j.ID] = Placement{Machine: rng.Intn(2), Start: start, Length: length}
+		}
+		audit, err := AuditConfiguration(ins, Options{}, alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if audit.GreedyExcess > 1e-9 {
+			t.Fatalf("trial %d: greedy minimality violated by %v", trial, audit.GreedyExcess)
+		}
+		if audit.ConfigExcess > 1e-6 {
+			t.Fatalf("trial %d: configuration constraint violated by %v", trial, audit.ConfigExcess)
+		}
+	}
+}
+
+func TestAuditImpliesCompetitiveRatio(t *testing.T) {
+	// λ/(1−µ) bounds greedy/alt whenever the audit passes and alt is any
+	// feasible configuration — the content of Theorem 3. Check it
+	// directly: greedy energy ≤ (λ/(1−µ))·alt energy.
+	ins := workload.RandomDeadline(workload.DeadlineConfig{
+		N: 50, M: 2, Seed: 4, Horizon: 80, MinVol: 1, MaxVol: 6, Slack: 3, Alpha: 2,
+	})
+	alt := FullWindowConfiguration(ins, 80)
+	audit, err := AuditConfiguration(ins, Options{}, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := RatioFromSmooth(audit.Lambda, audit.Mu) * audit.AltEnergy
+	if audit.GreedyEnergy > bound+1e-6 {
+		t.Fatalf("greedy %v exceeds (λ/(1−µ))·f(alt) = %v", audit.GreedyEnergy, bound)
+	}
+}
+
+// TestPlaceMatchesNaiveSearch cross-checks the sliding-window candidate
+// search inside Place against a naive enumeration via MarginalOf evaluated
+// on the same pre-placement profile.
+func TestPlaceMatchesNaiveSearch(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ins := workload.RandomDeadline(workload.DeadlineConfig{
+			N: 25, M: 2, Seed: seed, Horizon: 30, MinVol: 1, MaxVol: 5, Slack: 3, Alpha: 2,
+		})
+		s, err := New(Options{Machines: 2, Alpha: 2, Horizon: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range ins.Jobs {
+			j := &ins.Jobs[k]
+			r := int(math.Ceil(j.Release - sched.Eps))
+			d := int(math.Floor(j.Deadline + sched.Eps))
+			naive := math.Inf(1)
+			for i := 0; i < 2; i++ {
+				for start := r; start < d; start++ {
+					for length := 1; start+length <= d; length++ {
+						if c := s.MarginalOf(i, start, length, j.Proc[i]); c < naive {
+							naive = c
+						}
+					}
+				}
+			}
+			pl, err := s.Place(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pl.Marginal-naive) > 1e-9*(1+naive) {
+				t.Fatalf("seed %d job %d: Place marginal %v != naive minimum %v",
+					seed, j.ID, pl.Marginal, naive)
+			}
+		}
+	}
+}
+
+func TestAuditRejectsInfeasibleAlt(t *testing.T) {
+	ins := workload.RandomDeadline(workload.DeadlineConfig{
+		N: 3, M: 1, Seed: 1, Horizon: 20, MinVol: 1, MaxVol: 3, Slack: 2, Alpha: 2,
+	})
+	alt := FullWindowConfiguration(ins, 20)
+	id := ins.Jobs[0].ID
+	bad := alt[id]
+	bad.Start = int(ins.Jobs[0].Deadline) // starts at the deadline: infeasible
+	alt[id] = bad
+	if _, err := AuditConfiguration(ins, Options{}, alt); err == nil {
+		t.Fatal("accepted an infeasible alternative placement")
+	}
+	delete(alt, id)
+	if _, err := AuditConfiguration(ins, Options{}, alt); err == nil {
+		t.Fatal("accepted a missing alternative placement")
+	}
+}
+
+func TestMarginalOfMatchesPlace(t *testing.T) {
+	ins := workload.RandomDeadline(workload.DeadlineConfig{
+		N: 20, M: 2, Seed: 2, Horizon: 40, MinVol: 1, MaxVol: 4, Slack: 2, Alpha: 2,
+	})
+	s, err := New(Options{Machines: 2, Alpha: 2, Horizon: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		pl, err := s.Place(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-evaluating the chosen window after commitment must cost at
+		// least what the commitment did (the profile now contains the job
+		// itself and s^α has increasing increments).
+		again := s.MarginalOf(pl.Machine, pl.Start, pl.Length, j.Proc[pl.Machine])
+		if again < pl.Marginal-1e-9 {
+			t.Fatalf("job %d: post-commit marginal %v below committed %v (convexity)", j.ID, again, pl.Marginal)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package energymin_test
+
+import (
+	"fmt"
+
+	"repro/internal/core/energymin"
+	"repro/internal/sched"
+)
+
+// ExampleRun places two deadline jobs: the greedy spreads them over disjoint
+// windows at minimum speed instead of stacking them.
+func ExampleRun() {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: 2, Proc: []float64{2}},
+		{ID: 1, Release: 0, Weight: 1, Deadline: 4, Proc: []float64{2}},
+	}}
+	res, err := energymin.Run(ins, energymin.Options{})
+	if err != nil {
+		panic(err)
+	}
+	p0, p1 := res.Placements[0], res.Placements[1]
+	fmt.Printf("job 0: [%d,%d) speed %.0f\n", p0.Start, p0.Start+p0.Length, p0.Speed)
+	fmt.Printf("job 1: [%d,%d) speed %.0f\n", p1.Start, p1.Start+p1.Length, p1.Speed)
+	fmt.Printf("energy %.0f (α^α bound vs OPT: %.0f)\n", res.Energy, energymin.TheoryRatio(2))
+	// Output:
+	// job 0: [0,2) speed 1
+	// job 1: [2,4) speed 1
+	// energy 4 (α^α bound vs OPT: 4)
+}
+
+// ExampleScheduler_Place drives the scheduler incrementally, the interface
+// the Lemma 2 adaptive adversary uses.
+func ExampleScheduler_Place() {
+	s, err := energymin.New(energymin.Options{Machines: 1, Alpha: 2, Horizon: 8})
+	if err != nil {
+		panic(err)
+	}
+	pl, err := s.Place(&sched.Job{ID: 0, Release: 0, Weight: 1, Deadline: 8, Proc: []float64{4}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("committed to [%d,%d) at speed %.1f, marginal energy %.1f\n",
+		pl.Start, pl.Start+pl.Length, pl.Speed, pl.Marginal)
+	// Output:
+	// committed to [0,8) at speed 0.5, marginal energy 2.0
+}
+
+// ExampleCheckSmooth verifies the exact (3, 1/2)-smoothness of s² on a
+// sample sequence (Definition 1 of the paper).
+func ExampleCheckSmooth() {
+	a := []float64{2, 1}
+	b := []float64{1, 1}
+	fmt.Println(energymin.CheckSmooth(2, energymin.LambdaExact2, energymin.Mu(2), a, b))
+	// Output:
+	// true
+}

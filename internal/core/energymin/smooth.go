@@ -1,0 +1,97 @@
+package energymin
+
+import "math"
+
+// Smoothness utilities for Definition 1 of the paper: a set function f is
+// (λ,µ)-smooth when for every A = {a_1..a_n} and nested B_1 ⊆ … ⊆ B_n ⊆ B,
+//
+//	Σ_i [f(B_i ∪ a_i) − f(B_i)] ≤ λ·f(A) + µ·f(B).
+//
+// For power objectives f(S) = (Σ S)^α on one slot this reduces (via the
+// smooth inequalities of Cohen–Dürr–Thang) to: for non-negative reals a_i,
+// b_i,
+//
+//	Σ_i [(b_i + Σ_{j≤i} a_j)^α − (Σ_{j≤i} a_j)^α] ≤ λ(α)·(Σ b_i)^α + µ(α)·(Σ a_i)^α
+//
+// with µ(α) = (α−1)/α and λ(α) = Θ(α^(α−1)); the resulting competitive
+// ratio λ/(1−µ) is O(α^α).
+
+// Mu returns the paper's µ(α) = (α−1)/α.
+func Mu(alpha float64) float64 { return (alpha - 1) / alpha }
+
+// LambdaExact2 is the exact λ for α = 2 with µ = 1/2: the LHS expands to
+// Σ(2b_iA_i + b_i²) ≤ 2AB + B², and 2AB + B² ≤ 3B² + A²/2 ⟺ 2(B−A/2)² ≥ 0,
+// with equality on the single pair (a,b) = (2,1) — so λ = 3 is both
+// sufficient for every sequence and necessary.
+const LambdaExact2 = 3.0
+
+// LambdaSufficient returns a λ(α) certified sufficient for µ = (α−1)/α:
+// since the increment t ↦ (b+t)^α − t^α is increasing (α ≥ 1) and convex
+// increments superadd, the multi-term LHS is at most (A+B)^α − A^α with
+// A = Σa_i, B = Σb_i; so λ = max_{x≥0} [(1+x)^α − x^α − µ·x^α] (found by
+// ternary search; x = A/B) makes the inequality hold for every sequence.
+// The single-pair case (a, b) = (x*, 1) shows this λ is also necessary.
+// It reproduces λ(2) = 3 and λ(3) ≈ 19.7 = Θ(α^(α−1)).
+func LambdaSufficient(alpha float64) float64 {
+	mu := Mu(alpha)
+	// Ternary search for the maximizer of h on [0, 4α] (the maximizer of
+	// the polynomial grows linearly in α).
+	lo, hi := 0.0, 4*alpha
+	for iter := 0; iter < 200; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if hSmooth(alpha, mu, m1) < hSmooth(alpha, mu, m2) {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	return hSmooth(alpha, mu, (lo+hi)/2)
+}
+
+func hSmooth(alpha, mu, x float64) float64 {
+	return math.Pow(1+x, alpha) - math.Pow(x, alpha) - mu*math.Pow(x, alpha)
+}
+
+// SmoothLHS evaluates the left-hand side of the smooth inequality for
+// P(s)=s^α on sequences a, b (padded with zeros to equal length).
+func SmoothLHS(alpha float64, a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var lhs, prefix float64
+	for i := 0; i < n; i++ {
+		var ai, bi float64
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		prefix += ai
+		lhs += math.Pow(bi+prefix, alpha) - math.Pow(prefix, alpha)
+	}
+	return lhs
+}
+
+// SmoothRHS evaluates λ(ΣB)^α + µ(ΣA)^α.
+func SmoothRHS(alpha, lambda, mu float64, a, b []float64) float64 {
+	var sa, sb float64
+	for _, v := range a {
+		sa += v
+	}
+	for _, v := range b {
+		sb += v
+	}
+	return lambda*math.Pow(sb, alpha) + mu*math.Pow(sa, alpha)
+}
+
+// CheckSmooth reports whether the smooth inequality holds for the given
+// sequences and constants.
+func CheckSmooth(alpha, lambda, mu float64, a, b []float64) bool {
+	return SmoothLHS(alpha, a, b) <= SmoothRHS(alpha, lambda, mu, a, b)+1e-9
+}
+
+// RatioFromSmooth is the competitive ratio λ/(1−µ) of Theorem 3.
+func RatioFromSmooth(lambda, mu float64) float64 { return lambda / (1 - mu) }

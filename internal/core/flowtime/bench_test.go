@@ -1,0 +1,42 @@
+package flowtime
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchRun(b *testing.B, n, m int, eps float64, dual bool) {
+	cfg := workload.DefaultConfig(n, m, 3)
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ins, Options{Epsilon: eps, TrackDual: dual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRun1kJobs4Machines(b *testing.B)  { benchRun(b, 1000, 4, 0.2, false) }
+func BenchmarkRun10kJobs4Machines(b *testing.B) { benchRun(b, 10000, 4, 0.2, false) }
+func BenchmarkRun10kJobs16Machines(b *testing.B) {
+	benchRun(b, 10000, 16, 0.2, false)
+}
+func BenchmarkRun10kJobsDualTracked(b *testing.B) {
+	benchRun(b, 10000, 4, 0.2, true)
+}
+
+// BenchmarkDispatchPath isolates the λ evaluation (RankStats over m treaps)
+// by running a workload whose jobs all arrive before any completes.
+func BenchmarkDispatchPath(b *testing.B) {
+	cfg := workload.DefaultConfig(5000, 8, 5)
+	cfg.Load = 50 // everything lands at once: pure dispatch cost
+	ins := workload.Random(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ins, Options{Epsilon: 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

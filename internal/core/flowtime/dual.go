@@ -1,0 +1,142 @@
+package flowtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// DualReport carries the dual-fitting objects of the paper's analysis,
+// recorded during a run with Options.TrackDual.
+//
+// The dual program (for the LP relaxation of §2) is
+//
+//	max Σ_j λ_j − Σ_i ∫ β_i(t) dt
+//	s.t. λ_j/p_ij − β_i(t) ≤ (t−r_j)/p_ij + 1   ∀ i, j, t ≥ r_j
+//
+// with the paper's assignment λ_j = ε/(1+ε)·min_i λ_ij and
+// β_i(t) = ε/(1+ε)²·(|U_i(t)|+|V_i(t)|).
+type DualReport struct {
+	Epsilon float64
+	// Lambda maps job id -> λ_j.
+	Lambda map[int]float64
+	// CTilde maps job id -> definitive-finish time C̃_j.
+	CTilde map[int]float64
+	// BetaIntegral is Σ_i ∫ β_i(t) dt.
+	BetaIntegral float64
+	// LambdaSum is Σ_j λ_j.
+	LambdaSum float64
+	// Machines holds the per-machine occupancy step functions
+	// (|U_i|+|V_i| after each breakpoint).
+	Machines []OccupancyTrace
+}
+
+// OccupancyTrace is a right-continuous step function of |U_i(t)|+|V_i(t)|.
+type OccupancyTrace struct {
+	Times []float64
+	Occ   []int
+}
+
+// At evaluates the occupancy at time t (0 before the first breakpoint).
+func (o OccupancyTrace) At(t float64) int {
+	k := sort.SearchFloat64s(o.Times, t+1e-12)
+	if k == 0 {
+		return 0
+	}
+	return o.Occ[k-1]
+}
+
+func (s *state) buildDualReport() *DualReport {
+	r := &DualReport{
+		Epsilon: s.opt.Epsilon,
+		Lambda:  s.lambda,
+		CTilde:  s.ctilde,
+	}
+	eps := s.opt.Epsilon
+	for _, l := range s.lambda {
+		r.LambdaSum += l
+	}
+	for _, m := range s.mach {
+		r.BetaIntegral += eps / ((1 + eps) * (1 + eps)) * m.occInt
+		r.Machines = append(r.Machines, OccupancyTrace{Times: m.bpTimes, Occ: m.bpValues})
+	}
+	return r
+}
+
+// Beta evaluates β_i(t).
+func (r *DualReport) Beta(i int, t float64) float64 {
+	eps := r.Epsilon
+	return eps / ((1 + eps) * (1 + eps)) * float64(r.Machines[i].At(t))
+}
+
+// Objective is the dual objective Σλ_j − Σ∫β_i. By weak duality it lower
+// bounds the optimum of the LP relaxation, hence 2·OPT.
+func (r *DualReport) Objective() float64 { return r.LambdaSum - r.BetaIntegral }
+
+// OccupancyIdentity returns the two sides of the exact identity
+// Σ_i ∫(|U_i|+|V_i|) dt = Σ_j (C̃_j − r_j) used in the proof of Theorem 1.
+func (r *DualReport) OccupancyIdentity(ins *sched.Instance) (integral, ctildeSum float64) {
+	eps := r.Epsilon
+	integral = r.BetaIntegral * (1 + eps) * (1 + eps) / eps
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		ctildeSum += r.CTilde[j.ID] - j.Release
+	}
+	return integral, ctildeSum
+}
+
+// Violation holds the worst dual-constraint violation found by CheckFeasibility.
+type Violation struct {
+	Job     int
+	Machine int
+	T       float64
+	Excess  float64 // λ_j/p_ij − β_i(t) − (t−r_j)/p_ij − 1, positive = infeasible
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("job %d machine %d t=%v excess=%v", v.Job, v.Machine, v.T, v.Excess)
+}
+
+// CheckFeasibility samples the dual constraint for every (job, machine) pair
+// at every occupancy breakpoint ≥ r_j plus extraSamples evenly spaced extra
+// times, returning the worst violation found (Excess ≤ tolerance means the
+// dual solution is feasible, i.e. Lemma 4 holds on this trace).
+func (r *DualReport) CheckFeasibility(ins *sched.Instance, extraSamples int) Violation {
+	worst := Violation{Excess: math.Inf(-1)}
+	horizon := 0.0
+	for i := range r.Machines {
+		if n := len(r.Machines[i].Times); n > 0 {
+			if last := r.Machines[i].Times[n-1]; last > horizon {
+				horizon = last
+			}
+		}
+	}
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		lj := r.Lambda[j.ID]
+		for i := 0; i < ins.Machines; i++ {
+			check := func(t float64) {
+				if t < j.Release {
+					return
+				}
+				excess := lj/j.Proc[i] - r.Beta(i, t) - (t-j.Release)/j.Proc[i] - 1
+				if excess > worst.Excess {
+					worst = Violation{Job: j.ID, Machine: i, T: t, Excess: excess}
+				}
+			}
+			check(j.Release)
+			for _, t := range r.Machines[i].Times {
+				check(t)
+				// Just before the breakpoint the occupancy is lower
+				// and the time term barely smaller: the binding side.
+				check(math.Nextafter(t, math.Inf(-1)))
+			}
+			for s := 0; s < extraSamples; s++ {
+				check(j.Release + (horizon-j.Release)*float64(s)/float64(extraSamples))
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,347 @@
+// Package flowtime implements the paper's §2 algorithm: online non-preemptive
+// total flow-time minimization on unrelated machines with rejections
+// (Theorem 1 of Lucarelli et al., SPAA 2018).
+//
+// The algorithm is 2((1+ε)/ε)²-competitive while rejecting at most a 2ε
+// fraction of the jobs. Its three policies:
+//
+//   - Dispatching: at the arrival of job j, compute for every machine i
+//     λ_ij = p_ij/ε + Σ_{ℓ⪯j} p_iℓ + |{ℓ≻j}|·p_ij over the pending jobs of i
+//     (in shortest-processing-time order, j hypothetically inserted) and
+//     dispatch j to argmin_i λ_ij.
+//   - Scheduling: whenever a machine is idle, run the pending job that
+//     precedes all others in SPT order; never preempt.
+//   - Rejection Rule 1: the running job k is interrupted and rejected when
+//     ⌈1/ε⌉ jobs have been dispatched to its machine during k's execution.
+//   - Rejection Rule 2: a per-machine counter of dispatches rejects the
+//     pending job with the largest processing time each time it reaches
+//     ⌈1+1/ε⌉, then resets.
+//
+// The package also records the dual objects of the paper's analysis — λ_j,
+// the definitive-finish times C̃_j, and the step functions behind
+// β_i(t) = ε/(1+ε)²·(|U_i(t)|+|V_i(t)|) — so tests can verify Lemma 4
+// (dual feasibility) and the end-to-end competitive bound numerically.
+package flowtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/ostree"
+	"repro/internal/sched"
+)
+
+// Options configures a run.
+type Options struct {
+	// Epsilon is the rejection parameter ε ∈ (0,1): the algorithm rejects
+	// at most a 2ε fraction of jobs.
+	Epsilon float64
+	// DisableRule1 / DisableRule2 switch off the corresponding rejection
+	// rule (ablation experiments E11). With both disabled the algorithm
+	// degenerates to the dispatch rule alone and all guarantees are void.
+	DisableRule1 bool
+	DisableRule2 bool
+	// TrackDual enables recording of λ_j, C̃_j and the β_i(t) step
+	// functions (small constant overhead per event).
+	TrackDual bool
+}
+
+func (o Options) validate() error {
+	if !(o.Epsilon > 0 && o.Epsilon < 1) {
+		return fmt.Errorf("flowtime: epsilon must be in (0,1), got %v", o.Epsilon)
+	}
+	return nil
+}
+
+// Rule1Threshold is the dispatch count during one execution that triggers
+// Rule 1: ⌈1/ε⌉.
+func (o Options) Rule1Threshold() int {
+	return int(math.Ceil(1/o.Epsilon - 1e-12))
+}
+
+// Rule2Threshold is the dispatch count that triggers Rule 2: ⌈1+1/ε⌉.
+func (o Options) Rule2Threshold() int {
+	return int(math.Ceil(1 + 1/o.Epsilon - 1e-12))
+}
+
+// Result is the audited output of a run.
+type Result struct {
+	Outcome *sched.Outcome
+	// Dispatches counts jobs dispatched (== number of jobs).
+	Dispatches int
+	// Rule1Rejections / Rule2Rejections split the rejection count by rule.
+	Rule1Rejections int
+	Rule2Rejections int
+	// Dual carries the analysis bookkeeping when Options.TrackDual.
+	Dual *DualReport
+}
+
+// machine is the per-machine online state.
+type machine struct {
+	pending *ostree.Tree // dispatched, not yet started (U_i \ {running})
+
+	running    int     // job id, -1 when idle
+	runStart   float64 // start time of the running job
+	runProc    float64 // p_ij of the running job on this machine
+	runSeq     int     // version guard for completion events
+	runVictims int     // Rule 1 counter v_k for the running job
+
+	counter int // Rule 2 counter c_i
+
+	// remnantAcc accumulates the Rule 1 remnants q_ik(r_{j_k}) on this
+	// machine. A job's C̃ correction is remnantAcc(at finish) minus its
+	// dispatch-time snapshot: exactly Σ_{k∈D_j} q_ik(r_{j_k}), O(1) per
+	// event instead of an O(|U_i|) scan per rejection.
+	remnantAcc float64
+
+	// dual occupancy |U_i(t)| + |V_i(t)| bookkeeping
+	occ      int
+	occLast  float64
+	occInt   float64
+	bpTimes  []float64
+	bpValues []int
+}
+
+func (m *machine) advance(t float64, track bool) {
+	if t > m.occLast {
+		m.occInt += float64(m.occ) * (t - m.occLast)
+		m.occLast = t
+	}
+	_ = track
+}
+
+func (m *machine) occChange(t float64, delta int, track bool) {
+	m.advance(t, track)
+	m.occ += delta
+	if track {
+		m.bpTimes = append(m.bpTimes, t)
+		m.bpValues = append(m.bpValues, m.occ)
+	}
+}
+
+type state struct {
+	ins  *sched.Instance
+	opt  Options
+	out  *sched.Outcome
+	res  *Result
+	q    eventq.Queue
+	mach []*machine
+	jobs map[int]*sched.Job
+	// snap holds each dispatched job's snapshot of its machine's
+	// remnantAcc; see machine.remnantAcc.
+	snap   map[int]float64
+	ctilde map[int]float64
+	lambda map[int]float64
+	seq    int
+	r1, r2 int
+}
+
+// Run executes the algorithm on the instance and returns the audited result.
+func Run(ins *sched.Instance, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s := &state{
+		ins:    ins,
+		opt:    opt,
+		out:    sched.NewOutcome(),
+		jobs:   make(map[int]*sched.Job, len(ins.Jobs)),
+		snap:   make(map[int]float64),
+		ctilde: make(map[int]float64),
+		lambda: make(map[int]float64),
+		r1:     opt.Rule1Threshold(),
+		r2:     opt.Rule2Threshold(),
+	}
+	s.res = &Result{Outcome: s.out}
+	s.mach = make([]*machine, ins.Machines)
+	for i := range s.mach {
+		s.mach[i] = &machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37), running: -1}
+	}
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		s.jobs[j.ID] = j
+		s.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+	}
+	for s.q.Len() > 0 {
+		e := s.q.Pop()
+		switch e.Kind {
+		case eventq.KindArrival:
+			s.handleArrival(e.Time, s.jobs[e.Job])
+		case eventq.KindCompletion:
+			s.handleCompletion(e)
+		case eventq.KindBookkeeping:
+			s.mach[e.Machine].occChange(e.Time, -1, opt.TrackDual)
+		}
+	}
+	if opt.TrackDual {
+		s.res.Dual = s.buildDualReport()
+	}
+	if err := s.sanity(); err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+var errInternal = errors.New("flowtime: internal invariant violated")
+
+func (s *state) sanity() error {
+	for i, m := range s.mach {
+		if m.occ != 0 {
+			return fmt.Errorf("%w: machine %d dual occupancy %d at end of run", errInternal, i, m.occ)
+		}
+		if m.running != -1 || m.pending.Len() != 0 {
+			return fmt.Errorf("%w: machine %d still busy at end of run", errInternal, i)
+		}
+	}
+	if got := len(s.out.Completed) + len(s.out.Rejected); got != len(s.ins.Jobs) {
+		return fmt.Errorf("%w: %d jobs accounted, want %d", errInternal, got, len(s.ins.Jobs))
+	}
+	return nil
+}
+
+func (s *state) key(j *sched.Job, i int) ostree.Key {
+	return ostree.Key{P: j.Proc[i], Release: j.Release, ID: j.ID}
+}
+
+// lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i.
+func (s *state) lambdaFor(j *sched.Job, i int) float64 {
+	p := j.Proc[i]
+	before, sumBefore, after := s.mach[i].pending.RankStats(s.key(j, i))
+	_ = before
+	return p/s.opt.Epsilon + (sumBefore + p) + float64(after)*p
+}
+
+func (s *state) handleArrival(t float64, j *sched.Job) {
+	// Dispatch: argmin λ_ij, ties to the lowest machine index.
+	best, bestLambda := 0, math.Inf(1)
+	for i := 0; i < s.ins.Machines; i++ {
+		if l := s.lambdaFor(j, i); l < bestLambda {
+			best, bestLambda = i, l
+		}
+	}
+	s.lambda[j.ID] = s.opt.Epsilon / (1 + s.opt.Epsilon) * bestLambda
+	m := s.mach[best]
+	s.out.Assigned[j.ID] = best
+	s.res.Dispatches++
+	m.occChange(t, +1, s.opt.TrackDual) // j enters U_best
+	m.pending.Insert(s.key(j, best))
+	s.snap[j.ID] = m.remnantAcc
+	m.counter++
+
+	// Rejection Rule 1: count the dispatch against the running job.
+	if m.running != -1 && !s.opt.DisableRule1 {
+		m.runVictims++
+		if m.runVictims >= s.r1 {
+			s.rejectRunning(best, t)
+		}
+	}
+	if m.running == -1 {
+		s.startNext(best, t)
+	}
+	// Rejection Rule 2: reject the largest pending job at the threshold.
+	if m.counter >= s.r2 && !s.opt.DisableRule2 {
+		m.counter = 0
+		s.rejectLargestPending(best, t, j)
+	}
+}
+
+// rejectRunning applies Rule 1 at time t: interrupt and reject the running
+// job of machine i, distribute its remnant q to the C̃ accumulators of every
+// job currently in U_i, and restart the machine.
+func (s *state) rejectRunning(i int, t float64) {
+	m := s.mach[i]
+	k := m.running
+	elapsed := t - m.runStart
+	q := m.runProc - elapsed
+	if q < 0 {
+		q = 0
+	}
+	if elapsed > sched.Eps {
+		s.out.Intervals = append(s.out.Intervals, sched.Interval{
+			Job: k, Machine: i, Start: m.runStart, End: t, Speed: 1,
+		})
+	}
+	s.out.Rejected[k] = t
+	s.res.Rule1Rejections++
+	// D_x gains k for every x ∈ U_i(t), including k itself: bump the
+	// machine accumulator before finishing k so k's own C̃ includes q.
+	m.remnantAcc += q
+	s.finish(i, k, t, 0) // k leaves U_i for V_i until C̃_k
+	m.running = -1
+	m.runVictims = 0
+	s.startNext(i, t)
+}
+
+// rejectLargestPending applies Rule 2 at time t (triggered by the arrival of
+// job trigger): reject the pending job of machine i with the largest
+// processing time, if any.
+func (s *state) rejectLargestPending(i int, t float64, trigger *sched.Job) {
+	m := s.mach[i]
+	key, ok := m.pending.DeleteMax()
+	if !ok {
+		return // all recent dispatches started immediately; nothing queued
+	}
+	s.out.Rejected[key.ID] = t
+	s.res.Rule2Rejections++
+	// Rule 2 term of C̃: the wait the rejected job is spared — the running
+	// remnant, the processing of everything else pending (except the
+	// triggering arrival), and its own processing time.
+	var term float64
+	if m.running != -1 {
+		term += m.runProc - (t - m.runStart)
+	}
+	others := m.pending.SumP()
+	// The triggering arrival was dispatched here; it is still pending
+	// unless it was started immediately (possible after a Rule 1
+	// interruption) or is the job just rejected.
+	if key.ID != trigger.ID && m.running != trigger.ID {
+		others -= trigger.Proc[i]
+	}
+	term += others + key.P
+	s.finish(i, key.ID, t, term)
+}
+
+// finish moves job id from U_i to V_i at time t and schedules its exit from
+// V_i at the definitive-finish time C̃ = t + accumulated Rule 1 remnants +
+// the Rule 2 term (zero except for Rule-2-rejected jobs).
+func (s *state) finish(i, id int, t, rule2Term float64) {
+	ct := t + (s.mach[i].remnantAcc - s.snap[id]) + rule2Term
+	s.ctilde[id] = ct
+	s.q.Push(eventq.Event{Time: ct, Kind: eventq.KindBookkeeping, Job: id, Machine: i})
+}
+
+// startNext starts the SPT-first pending job on the idle machine i.
+func (s *state) startNext(i int, t float64) {
+	m := s.mach[i]
+	key, ok := m.pending.DeleteMin()
+	if !ok {
+		return
+	}
+	m.running = key.ID
+	m.runStart = t
+	m.runProc = key.P
+	m.runVictims = 0
+	s.seq++
+	m.runSeq = s.seq
+	s.q.Push(eventq.Event{Time: t + key.P, Kind: eventq.KindCompletion, Job: key.ID, Machine: i, Version: s.seq})
+}
+
+func (s *state) handleCompletion(e eventq.Event) {
+	m := s.mach[e.Machine]
+	if m.running != e.Job || m.runSeq != e.Version {
+		return // stale: the execution was interrupted by Rule 1
+	}
+	s.out.Intervals = append(s.out.Intervals, sched.Interval{
+		Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: 1,
+	})
+	s.out.Completed[e.Job] = e.Time
+	s.finish(e.Machine, e.Job, e.Time, 0)
+	m.running = -1
+	m.runVictims = 0
+	s.startNext(e.Machine, e.Time)
+}

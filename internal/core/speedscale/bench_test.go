@@ -1,0 +1,37 @@
+package speedscale
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchRun(b *testing.B, n, m int) {
+	cfg := workload.DefaultConfig(n, m, 3)
+	cfg.Weighted = true
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	ins.Alpha = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ins, Options{Epsilon: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRun1kJobs2Machines(b *testing.B) { benchRun(b, 1000, 2) }
+func BenchmarkRun5kJobs4Machines(b *testing.B) { benchRun(b, 5000, 4) }
+
+func BenchmarkRunWithDualTracking(b *testing.B) {
+	cfg := workload.DefaultConfig(2000, 2, 3)
+	cfg.Weighted = true
+	ins := workload.Random(cfg)
+	ins.Alpha = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ins, Options{Epsilon: 0.3, TrackDual: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

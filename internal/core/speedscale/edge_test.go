@@ -1,0 +1,145 @@
+package speedscale
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestHandTrace verifies the full §3 pipeline on a worked example
+// (γ = 1, α = 2, ε = 0.5):
+//
+//	t=0: job 0 (w=1, p=2) arrives, starts alone: speed √1 = 1, ETA 2.
+//	t=1: job 1 (w=4, p=4) arrives: v₀ = 4 > w₀/ε = 2 ⇒ job 0 rejected at
+//	     t=1 (1 unit done, remnant 1); job 1 starts: speed √4 = 2, ETA 3.
+//	t=3: job 1 completes.
+func TestHandTrace(t *testing.T) {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2}},
+		{ID: 1, Release: 1, Weight: 4, Deadline: sched.NoDeadline, Proc: []float64{4}},
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 1, TrackDual: true})
+	if r, ok := res.Outcome.Rejected[0]; !ok || math.Abs(r-1) > 1e-9 {
+		t.Fatalf("job 0 rejection = %v ok=%v, want t=1", r, ok)
+	}
+	if c, ok := res.Outcome.Completed[1]; !ok || math.Abs(c-3) > 1e-9 {
+		t.Fatalf("job 1 completion = %v, want 3", c)
+	}
+	var iv1 sched.Interval
+	for _, iv := range res.Outcome.Intervals {
+		if iv.Job == 1 {
+			iv1 = iv
+		}
+	}
+	if math.Abs(iv1.Speed-2) > 1e-9 {
+		t.Fatalf("job 1 speed %v, want 2", iv1.Speed)
+	}
+	// Energy: job 0 ran 1 unit at speed 1 (1²·1 = 1); job 1 ran 2 units at
+	// speed 2 (2²·2 = 8) → 9.
+	m, err := sched.ComputeMetrics(ins, res.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Energy-9) > 1e-9 {
+		t.Fatalf("energy %v, want 9", m.Energy)
+	}
+	// Weighted flow: job 0 until rejection: 1·(1−0) = 1; job 1: 4·(3−1)=8.
+	if math.Abs(m.WeightedFlow-9) > 1e-9 {
+		t.Fatalf("weighted flow %v, want 9", m.WeightedFlow)
+	}
+	// λ₀ = ε/(1+ε)·λ_i0 with empty queue: λ_i0 = w(p/ε + p/(γ√w)) = 2/0.5·... :
+	// w=1, p=2: p/ε = 4; Σ_{ℓ⪯0} p/(γW^{1/2}) = 2/√1 = 2 → λ_i0 = 6;
+	// λ₀ = (1/3)·6 = 2.
+	if l := res.Dual.Lambda[0]; math.Abs(l-2) > 1e-9 {
+		t.Fatalf("λ₀ = %v, want 2", l)
+	}
+}
+
+// TestDualCheckerDetectsViolations: the Lemma 6 audit must flag corrupted
+// duals.
+func TestDualCheckerDetectsViolations(t *testing.T) {
+	ins := weightedInstance(60, 2, 3, 2)
+	res := mustRun(t, ins, Options{Epsilon: 0.4, TrackDual: true})
+	if v := res.Dual.CheckFeasibility(ins, 16); v.Excess > 1e-7 {
+		t.Fatalf("genuine dual infeasible: %v", v)
+	}
+	for id := range res.Dual.Lambda {
+		res.Dual.Lambda[id] *= 1000
+		break
+	}
+	if v := res.Dual.CheckFeasibility(ins, 16); v.Excess <= 0 {
+		t.Fatal("checker failed to detect corrupted λ")
+	}
+}
+
+// TestRejectionChainsOnHeavyArrivals: a stream of heavy jobs repeatedly
+// rejects the running job; every job must still be accounted for and the
+// budget must hold.
+func TestRejectionChainsOnHeavyArrivals(t *testing.T) {
+	var jobs []sched.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, sched.Job{
+			ID: i, Release: float64(i) * 0.1, Weight: float64(1 + i), Deadline: sched.NoDeadline,
+			Proc: []float64{100},
+		})
+	}
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: jobs}
+	res := mustRun(t, ins, Options{Epsilon: 0.5})
+	if got := len(res.Outcome.Completed) + len(res.Outcome.Rejected); got != 20 {
+		t.Fatalf("accounted %d/20", got)
+	}
+	if res.RejectedWeight > 0.5*ins.TotalWeight()+1e-9 {
+		t.Fatalf("budget violated: %v > %v", res.RejectedWeight, 0.5*ins.TotalWeight())
+	}
+}
+
+// TestGammaScalesSpeedAndEnergy: doubling γ doubles speeds, quarters...
+// — at α=2, energy per job is s²·(p/s) = p·s, so energy scales linearly
+// with γ while flow scales inversely.
+func TestGammaScalesSpeedAndEnergy(t *testing.T) {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{8}},
+	}}
+	lo := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 0.5})
+	hi := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 1.0})
+	mLo, err := sched.ComputeMetrics(ins, lo.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHi, err := sched.ComputeMetrics(ins, hi.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mHi.Energy-2*mLo.Energy) > 1e-9 {
+		t.Fatalf("energy should double with γ: %v vs %v", mHi.Energy, mLo.Energy)
+	}
+	if math.Abs(mLo.WeightedFlow-2*mHi.WeightedFlow) > 1e-9 {
+		t.Fatalf("flow should halve with γ: %v vs %v", mLo.WeightedFlow, mHi.WeightedFlow)
+	}
+}
+
+// TestFractionalWeightLifecycle: a rejected job's fractional weight is
+// frozen at its remnant until the definitive finish, then drops to zero.
+func TestFractionalWeightLifecycle(t *testing.T) {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2}},
+		{ID: 1, Release: 1, Weight: 4, Deadline: sched.NoDeadline, Proc: []float64{4}},
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 1, TrackDual: true})
+	d := res.Dual
+	// At t=0.5 job 0 is running at speed 1: q = 1.5 → w(t) = 0.75.
+	if v := d.V(0, 0.5); math.Abs(v-0.75) > 1e-9 {
+		t.Fatalf("V(0.5) = %v, want 0.75", v)
+	}
+	// Right after rejection at t=1 the remnant (q=1) is frozen: job 0
+	// contributes 0.5, job 1 is fully pending (4·4/4 = 4) but starts
+	// immediately and depletes at speed 2: at t=2, q₁ = 2 → 2.
+	// Job 0's definitive finish is t = 1 + q/s = 2 (remnant 1 at speed 1).
+	if v := d.V(0, 1.5); math.Abs(v-(0.5+3)) > 1e-9 {
+		t.Fatalf("V(1.5) = %v, want 3.5 (0.5 frozen + 3 depleting)", v)
+	}
+	if v := d.V(0, 2.5); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("V(2.5) = %v, want 1 (job 0 definitively finished at 2)", v)
+	}
+}

@@ -1,0 +1,36 @@
+package speedscale_test
+
+import (
+	"fmt"
+
+	"repro/internal/core/speedscale"
+	"repro/internal/sched"
+)
+
+// ExampleRun schedules two weighted jobs under speed scaling (γ = 1, α = 2):
+// the heavy arrival trips the weight counter and evicts the running job.
+func ExampleRun() {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2}},
+		{ID: 1, Release: 1, Weight: 4, Deadline: sched.NoDeadline, Proc: []float64{4}},
+	}}
+	res, err := speedscale.Run(ins, speedscale.Options{Epsilon: 0.5, Gamma: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("job 0 rejected at t=%.0f (counter 4 > w/ε = 2)\n", res.Outcome.Rejected[0])
+	fmt.Printf("job 1 done at t=%.0f at speed γ·√w = 2\n", res.Outcome.Completed[1])
+	fmt.Printf("rejected weight %.0f within budget %.0f\n",
+		res.RejectedWeight, 0.5*ins.TotalWeight())
+	// Output:
+	// job 0 rejected at t=1 (counter 4 > w/ε = 2)
+	// job 1 done at t=3 at speed γ·√w = 2
+	// rejected weight 1 within budget 2
+}
+
+// ExampleDefaultGamma prints the paper's speed constant at α = 2.
+func ExampleDefaultGamma() {
+	fmt.Printf("%.4f\n", speedscale.DefaultGamma(0.5, 2))
+	// Output:
+	// 0.3333
+}

@@ -1,0 +1,323 @@
+// Package speedscale implements the paper's §3 algorithm: online
+// non-preemptive minimization of total weighted flow time plus energy on
+// unrelated machines under the speed-scaling model P(s) = s^α, with
+// rejections (Theorem 2 of Lucarelli et al., SPAA 2018).
+//
+// The algorithm is O((1+1/ε)^(α/(α−1)))-competitive while rejecting jobs of
+// total weight at most an ε fraction of the total weight. Its policies:
+//
+//   - Scheduling: pending jobs are ordered by non-increasing density
+//     δ_ij = w_j/p_ij. When machine i becomes idle it starts the first
+//     pending job at speed s = γ·(Σ_{ℓ∈U_i} w_ℓ)^(1/α), frozen for the whole
+//     execution.
+//   - Dispatching: job j goes to argmin_i λ_ij where
+//     λ_ij = w_j·(p_ij/ε + Σ_{ℓ⪯j} p_iℓ/(γ·W_ℓ^(1/α)))
+//   - (Σ_{ℓ≻j} w_ℓ)·p_ij/(γ·W_j^(1/α)),
+//     with W_ℓ = Σ_{ℓ'⪰ℓ} w_ℓ' the suffix weights in the density order (the
+//     pending weight at ℓ's projected start, hence its projected speed).
+//   - Rejection: a weight counter v_k accumulates the weights dispatched to
+//     the machine during the running job k's execution; k is interrupted
+//     and rejected the first time v_k > w_k/ε.
+//
+// γ defaults to the paper's choice
+// γ = (ε/(1+ε))^(1/(α−1)) · (α−1+ln(α−1))^((α−1)/α)/(α−1), falling back to
+// (ε/(1+ε))^(1/(α−1)) when α−1+ln(α−1) ≤ 0 (α ≲ 1.567), where the paper's
+// expression is undefined; any γ > 0 preserves correctness of the schedule,
+// only the proven ratio constant changes.
+package speedscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+)
+
+// Options configures a run.
+type Options struct {
+	// Epsilon ∈ (0,1): rejected weight budget fraction.
+	Epsilon float64
+	// Alpha > 1: power exponent (overrides the instance's Alpha when set;
+	// if zero, the instance's Alpha is used).
+	Alpha float64
+	// Gamma > 0 overrides the paper's speed constant; 0 selects DefaultGamma.
+	Gamma float64
+	// TrackDual records per-job execution info for the Lemma 6 audit.
+	TrackDual bool
+}
+
+// DefaultGamma returns the paper's γ(ε, α) (with the documented fallback for
+// small α).
+func DefaultGamma(eps, alpha float64) float64 {
+	base := math.Pow(eps/(1+eps), 1/(alpha-1))
+	x := alpha - 1 + math.Log(alpha-1)
+	if x <= 0 {
+		return base
+	}
+	return base * math.Pow(x, (alpha-1)/alpha) / (alpha - 1)
+}
+
+// TheoryEnvelope returns the asymptotic competitive envelope
+// (1+1/ε)^(α/(α−1)) that Theorem 2 proves up to a constant factor.
+func TheoryEnvelope(eps, alpha float64) float64 {
+	return math.Pow(1+1/eps, alpha/(alpha-1))
+}
+
+// Result is the audited output of a run.
+type Result struct {
+	Outcome *sched.Outcome
+	// Gamma and Alpha actually used.
+	Gamma, Alpha float64
+	// Rejections counts rejected jobs; RejectedWeight sums their weights.
+	Rejections     int
+	RejectedWeight float64
+	// Dual carries the analysis bookkeeping when Options.TrackDual.
+	Dual *DualReport
+}
+
+type pitem struct {
+	id      int
+	w, p    float64
+	density float64
+	release float64
+}
+
+func pless(a, b pitem) bool {
+	if a.density != b.density {
+		return a.density > b.density // non-increasing density
+	}
+	if a.release != b.release {
+		return a.release < b.release
+	}
+	return a.id < b.id
+}
+
+type smachine struct {
+	pending []pitem // density order
+
+	running  int // job id, -1 idle
+	runStart float64
+	runSpeed float64
+	runVol   float64
+	runW     float64
+	runSeq   int
+	victimW  float64 // v_k, accumulated dispatched weight
+
+	// remTimeAcc accumulates rejection remnant times q_k/s_k (lazy C̃
+	// bookkeeping, cf. internal/core/flowtime).
+	remTimeAcc float64
+}
+
+func (m *smachine) insert(it pitem) {
+	k := sort.Search(len(m.pending), func(x int) bool { return !pless(m.pending[x], it) })
+	m.pending = append(m.pending, pitem{})
+	copy(m.pending[k+1:], m.pending[k:])
+	m.pending[k] = it
+}
+
+type sstate struct {
+	ins   *sched.Instance
+	opt   Options
+	alpha float64
+	gamma float64
+	out   *sched.Outcome
+	res   *Result
+	q     eventq.Queue
+	mach  []*smachine
+	jobs  map[int]*sched.Job
+	seq   int
+	snap  map[int]float64
+	dual  *DualReport
+}
+
+// Run executes the algorithm on the instance.
+func Run(ins *sched.Instance, opt Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
+		return nil, fmt.Errorf("speedscale: epsilon must be in (0,1), got %v", opt.Epsilon)
+	}
+	alpha := opt.Alpha
+	if alpha == 0 {
+		alpha = ins.Alpha
+	}
+	if !(alpha > 1) {
+		return nil, fmt.Errorf("speedscale: alpha must exceed 1, got %v", alpha)
+	}
+	gamma := opt.Gamma
+	if gamma == 0 {
+		gamma = DefaultGamma(opt.Epsilon, alpha)
+	}
+	if !(gamma > 0) {
+		return nil, fmt.Errorf("speedscale: gamma must be positive, got %v", gamma)
+	}
+	s := &sstate{
+		ins: ins, opt: opt, alpha: alpha, gamma: gamma,
+		out:  sched.NewOutcome(),
+		jobs: make(map[int]*sched.Job, len(ins.Jobs)),
+		snap: make(map[int]float64),
+	}
+	s.res = &Result{Outcome: s.out, Gamma: gamma, Alpha: alpha}
+	if opt.TrackDual {
+		s.dual = newDualReport(opt.Epsilon, alpha, gamma)
+	}
+	s.mach = make([]*smachine, ins.Machines)
+	for i := range s.mach {
+		s.mach[i] = &smachine{running: -1}
+	}
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		s.jobs[j.ID] = j
+		s.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+	}
+	for s.q.Len() > 0 {
+		e := s.q.Pop()
+		switch e.Kind {
+		case eventq.KindArrival:
+			s.handleArrival(e.Time, s.jobs[e.Job])
+		case eventq.KindCompletion:
+			s.handleCompletion(e)
+		}
+	}
+	if got := len(s.out.Completed) + len(s.out.Rejected); got != len(ins.Jobs) {
+		return nil, fmt.Errorf("speedscale: internal: %d jobs accounted, want %d", got, len(ins.Jobs))
+	}
+	s.res.Dual = s.dual
+	return s.res, nil
+}
+
+// lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i.
+// One backwards pass accumulates the suffix weights W_ℓ = Σ_{ℓ'⪰ℓ} w_ℓ'.
+func (s *sstate) lambdaFor(j *sched.Job, i int) float64 {
+	m := s.mach[i]
+	p, w := j.Proc[i], j.Weight
+	it := pitem{id: j.ID, w: w, p: p, density: w / p, release: j.Release}
+
+	// Suffix pass over pending ∪ {j} in reverse density order.
+	var sumAfterW float64   // Σ_{ℓ≻j} w_ℓ
+	var sumPrefTime float64 // Σ_{ℓ⪯j} p_iℓ/(γ W_ℓ^{1/α})
+	var wj float64          // W_j
+	suffix := 0.0           // running suffix weight
+	placedSelf := false     // j handled
+	handle := func(e pitem) {
+		suffix += e.w
+		if e.id == j.ID {
+			wj = suffix
+			sumPrefTime += e.p / (s.gamma * math.Pow(suffix, 1/s.alpha))
+			placedSelf = true
+		} else if placedSelf {
+			// e precedes j (we iterate in reverse order)
+			sumPrefTime += e.p / (s.gamma * math.Pow(suffix, 1/s.alpha))
+		} else {
+			sumAfterW += e.w
+		}
+	}
+	// reverse iteration with j merged in
+	k := len(m.pending) - 1
+	for k >= 0 && pless(it, m.pending[k]) {
+		handle(m.pending[k])
+		k--
+	}
+	handle(it)
+	for ; k >= 0; k-- {
+		handle(m.pending[k])
+	}
+	return w*(p/s.opt.Epsilon+sumPrefTime) + sumAfterW*p/(s.gamma*math.Pow(wj, 1/s.alpha))
+}
+
+func (s *sstate) handleArrival(t float64, j *sched.Job) {
+	best, bestLambda := 0, math.Inf(1)
+	for i := 0; i < s.ins.Machines; i++ {
+		if l := s.lambdaFor(j, i); l < bestLambda {
+			best, bestLambda = i, l
+		}
+	}
+	m := s.mach[best]
+	s.out.Assigned[j.ID] = best
+	s.snap[j.ID] = m.remTimeAcc
+	if s.dual != nil {
+		s.dual.noteDispatch(j, best, s.opt.Epsilon/(1+s.opt.Epsilon)*bestLambda)
+	}
+	m.insert(pitem{id: j.ID, w: j.Weight, p: j.Proc[best], density: j.Weight / j.Proc[best], release: j.Release})
+
+	if m.running != -1 {
+		m.victimW += j.Weight
+		if m.victimW > m.runW/s.opt.Epsilon {
+			s.rejectRunning(best, t)
+		}
+	}
+	if m.running == -1 {
+		s.startNext(best, t)
+	}
+}
+
+func (s *sstate) rejectRunning(i int, t float64) {
+	m := s.mach[i]
+	k := m.running
+	done := (t - m.runStart) * m.runSpeed
+	q := m.runVol - done
+	if q < 0 {
+		q = 0
+	}
+	if t > m.runStart+sched.Eps {
+		s.out.Intervals = append(s.out.Intervals, sched.Interval{
+			Job: k, Machine: i, Start: m.runStart, End: t, Speed: m.runSpeed,
+		})
+	}
+	s.out.Rejected[k] = t
+	s.res.Rejections++
+	s.res.RejectedWeight += m.runW
+	m.remTimeAcc += q / m.runSpeed
+	if s.dual != nil {
+		s.dual.noteFinish(k, i, m.runStart, m.runSpeed, t, q, t+(m.remTimeAcc-s.snap[k]))
+	}
+	m.running = -1
+	m.victimW = 0
+}
+
+func (s *sstate) startNext(i int, t float64) {
+	m := s.mach[i]
+	if len(m.pending) == 0 {
+		return
+	}
+	it := m.pending[0]
+	m.pending = m.pending[1:]
+	totalW := it.w
+	for _, e := range m.pending {
+		totalW += e.w
+	}
+	speed := s.gamma * math.Pow(totalW, 1/s.alpha)
+	m.running = it.id
+	m.runStart = t
+	m.runSpeed = speed
+	m.runVol = it.p
+	m.runW = it.w
+	m.victimW = 0
+	s.seq++
+	m.runSeq = s.seq
+	s.q.Push(eventq.Event{
+		Time: t + it.p/speed, Kind: eventq.KindCompletion,
+		Job: it.id, Machine: i, Version: s.seq,
+	})
+}
+
+func (s *sstate) handleCompletion(e eventq.Event) {
+	m := s.mach[e.Machine]
+	if m.running != e.Job || m.runSeq != e.Version {
+		return // stale: interrupted by a rejection
+	}
+	s.out.Intervals = append(s.out.Intervals, sched.Interval{
+		Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: m.runSpeed,
+	})
+	s.out.Completed[e.Job] = e.Time
+	if s.dual != nil {
+		s.dual.noteFinish(e.Job, e.Machine, m.runStart, m.runSpeed, e.Time, 0,
+			e.Time+(m.remTimeAcc-s.snap[e.Job]))
+	}
+	m.running = -1
+	m.victimW = 0
+	s.startNext(e.Machine, e.Time)
+}

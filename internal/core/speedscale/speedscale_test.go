@@ -1,0 +1,230 @@
+package speedscale
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lowerbound"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func weightedInstance(n, m int, seed int64, alpha float64) *sched.Instance {
+	cfg := workload.DefaultConfig(n, m, seed)
+	cfg.Weighted = true
+	cfg.Load = 1.0
+	ins := workload.Random(cfg)
+	ins.Alpha = alpha
+	return ins
+}
+
+func mustRun(t *testing.T, ins *sched.Instance, opt Options) *Result {
+	t.Helper()
+	res, err := Run(ins, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{}); err != nil {
+		t.Fatalf("invalid outcome: %v", err)
+	}
+	return res
+}
+
+func TestSingleJobSpeedAndCompletion(t *testing.T) {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 4, Deadline: sched.NoDeadline, Proc: []float64{6}},
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 0.5})
+	// speed = γ·W^(1/α) = 0.5·√4 = 1 → completion at 6.
+	if c := res.Outcome.Completed[0]; math.Abs(c-6) > 1e-9 {
+		t.Fatalf("completion %v, want 6", c)
+	}
+	iv := res.Outcome.Intervals[0]
+	if math.Abs(iv.Speed-1) > 1e-9 {
+		t.Fatalf("speed %v, want 1", iv.Speed)
+	}
+}
+
+func TestSpeedRisesWithBacklog(t *testing.T) {
+	// Jobs 1 and 2 queue behind job 0; when job 0 completes, the next
+	// start must run at γ·(w1+w2)^(1/α) — the whole outstanding weight.
+	// (ε = 0.05 keeps the weight counter below w0/ε = 20, so no rejection.)
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{1}},
+		{ID: 1, Release: 0.5, Weight: 9, Deadline: sched.NoDeadline, Proc: []float64{3}},
+		{ID: 2, Release: 0.6, Weight: 7, Deadline: sched.NoDeadline, Proc: []float64{3}},
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.05, Gamma: 1})
+	var second sched.Interval
+	for _, iv := range res.Outcome.Intervals {
+		if iv.Job == 1 {
+			second = iv
+		}
+	}
+	if math.Abs(second.Start-1) > 1e-9 {
+		t.Fatalf("job 1 start %v, want 1 (after job 0 completes)", second.Start)
+	}
+	if want := math.Sqrt(16.0); math.Abs(second.Speed-want) > 1e-9 {
+		t.Fatalf("job 1 speed %v, want √16 = %v", second.Speed, want)
+	}
+}
+
+func TestDensityOrder(t *testing.T) {
+	// Behind a runner, the denser pending job must go first.
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{5}},
+		{ID: 1, Release: 0.1, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4}}, // density 0.25
+		{ID: 2, Release: 0.2, Weight: 8, Deadline: sched.NoDeadline, Proc: []float64{4}}, // density 2
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.9, Gamma: 1})
+	if res.Outcome.Completed[2] >= res.Outcome.Completed[1] {
+		t.Fatalf("density order violated: job2 must complete before job1: %v", res.Outcome.Completed)
+	}
+}
+
+func TestRejectionTriggersOnWeightCounter(t *testing.T) {
+	// ε=0.5, runner weight 1 ⇒ reject when dispatched weight exceeds 2.
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{100}},
+		{ID: 1, Release: 1, Weight: 1.5, Deadline: sched.NoDeadline, Proc: []float64{1}},
+		{ID: 2, Release: 2, Weight: 1.0, Deadline: sched.NoDeadline, Proc: []float64{1}},
+	}}
+	res := mustRun(t, ins, Options{Epsilon: 0.5, Gamma: 1})
+	if r, ok := res.Outcome.Rejected[0]; !ok || math.Abs(r-2) > 1e-9 {
+		t.Fatalf("job 0 should be rejected at t=2 (v=2.5 > 2), got %v ok=%v", r, ok)
+	}
+	if len(res.Outcome.Completed) != 2 {
+		t.Fatalf("jobs 1,2 must complete: %v", res.Outcome.Completed)
+	}
+}
+
+func TestRejectedWeightBudget(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.3, 0.6} {
+		for seed := int64(0); seed < 6; seed++ {
+			ins := weightedInstance(300, 3, seed, 2)
+			res := mustRun(t, ins, Options{Epsilon: eps})
+			if res.RejectedWeight > eps*ins.TotalWeight()+1e-9 {
+				t.Fatalf("eps=%v seed=%d: rejected weight %v exceeds ε·W = %v",
+					eps, seed, res.RejectedWeight, eps*ins.TotalWeight())
+			}
+		}
+	}
+}
+
+func TestObjectiveBeatsUnitSpeedBaselineUnderLoad(t *testing.T) {
+	// Not a theorem, just a sanity signal: with speed scaling available the
+	// algorithm's flow+energy should be within a small factor of the solo
+	// lower bound on a loaded instance.
+	ins := weightedInstance(200, 2, 4, 2)
+	res := mustRun(t, ins, Options{Epsilon: 0.3})
+	m, err := sched.ComputeMetrics(ins, res.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := lowerbound.SoloFlowEnergy(ins)
+	if lb <= 0 {
+		t.Fatal("degenerate lower bound")
+	}
+	ratio := m.WeightedFlowPlusEnergy() / lb
+	if ratio < 1-1e-9 {
+		t.Fatalf("objective %v below lower bound %v", m.WeightedFlowPlusEnergy(), lb)
+	}
+	env := TheoryEnvelope(0.3, 2)
+	if ratio > 100*env {
+		t.Fatalf("ratio %v wildly above theory envelope %v: likely a bug", ratio, env)
+	}
+}
+
+func TestDefaultGamma(t *testing.T) {
+	// α=2: γ = ε/(1+ε)·(1+ln1)^... = ε/(1+ε).
+	if g := DefaultGamma(0.5, 2); math.Abs(g-1.0/3) > 1e-9 {
+		t.Fatalf("γ(0.5, 2) = %v, want 1/3", g)
+	}
+	// Fallback region must still be positive.
+	if g := DefaultGamma(0.5, 1.3); !(g > 0) {
+		t.Fatalf("γ(0.5, 1.3) = %v, want positive fallback", g)
+	}
+	// α=3: both factors defined.
+	g := DefaultGamma(0.25, 3)
+	want := math.Pow(0.2, 0.5) * math.Pow(2+math.Log(2), 2.0/3) / 2
+	if math.Abs(g-want) > 1e-9 {
+		t.Fatalf("γ(0.25, 3) = %v, want %v", g, want)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	ins := weightedInstance(10, 2, 1, 2)
+	if _, err := Run(ins, Options{Epsilon: 0}); err == nil {
+		t.Fatal("accepted eps=0")
+	}
+	if _, err := Run(ins, Options{Epsilon: 0.5, Alpha: 1}); err == nil {
+		t.Fatal("accepted alpha=1")
+	}
+	if _, err := Run(ins, Options{Epsilon: 0.5, Gamma: -1}); err == nil {
+		t.Fatal("accepted negative gamma")
+	}
+	ins.Alpha = 0
+	if _, err := Run(ins, Options{Epsilon: 0.5}); err == nil {
+		t.Fatal("accepted alpha=0 instance without override")
+	}
+}
+
+func TestDualFeasibility(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ins := weightedInstance(80, 2, seed, 2)
+		res := mustRun(t, ins, Options{Epsilon: 0.4, TrackDual: true})
+		v := res.Dual.CheckFeasibility(ins, 24)
+		if v.Excess > 1e-7 {
+			t.Fatalf("seed %d: dual constraint violated: %v", seed, v)
+		}
+		if err := res.Dual.MonotoneV(ins, 32); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDualFeasibilityAlpha3(t *testing.T) {
+	ins := weightedInstance(60, 2, 9, 3)
+	res := mustRun(t, ins, Options{Epsilon: 0.25, TrackDual: true})
+	if v := res.Dual.CheckFeasibility(ins, 24); v.Excess > 1e-7 {
+		t.Fatalf("dual constraint violated at α=3: %v", v)
+	}
+}
+
+func TestQuickValidAndBudget(t *testing.T) {
+	f := func(seed int64, nRaw, epsRaw uint8) bool {
+		n := 20 + int(nRaw)%100
+		eps := 0.05 + float64(epsRaw%90)/100.0
+		ins := weightedInstance(n, 2, seed, 2)
+		res, err := Run(ins, Options{Epsilon: eps})
+		if err != nil {
+			return false
+		}
+		if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{}); err != nil {
+			return false
+		}
+		return res.RejectedWeight <= eps*ins.TotalWeight()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	ins := weightedInstance(100, 2, 2, 2)
+	res := mustRun(t, ins, Options{Epsilon: 0.3})
+	m, err := sched.ComputeMetrics(ins, res.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute energy directly from intervals: Σ s^α·(end−start); no
+	// overlap in this model so it must equal the sweep-based metric.
+	var direct float64
+	for _, iv := range res.Outcome.Intervals {
+		direct += math.Pow(iv.Speed, 2) * (iv.End - iv.Start)
+	}
+	if math.Abs(direct-m.Energy) > 1e-6*(1+direct) {
+		t.Fatalf("energy mismatch: direct %v vs sweep %v", direct, m.Energy)
+	}
+}

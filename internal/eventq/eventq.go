@@ -1,0 +1,82 @@
+// Package eventq provides the deterministic event priority queue that drives
+// the online event loops of every scheduler in this repository.
+//
+// Events are ordered by (Time, Kind, Seq): earlier times first, then by kind
+// (so that, e.g., completions at time t are handled before arrivals at t),
+// then by insertion sequence for full determinism. Stale events — completion
+// events for executions that were interrupted by a rejection — are handled by
+// the callers via version counters carried in the payload.
+package eventq
+
+import "container/heap"
+
+// Kind orders simultaneous events. Lower kinds pop first.
+type Kind int
+
+const (
+	// KindCompletion fires when a machine finishes its running job.
+	KindCompletion Kind = iota
+	// KindBookkeeping fires for internal accounting (e.g. a job leaving
+	// the dual set V_i at its definitive-finish time).
+	KindBookkeeping
+	// KindArrival fires when a job is released.
+	KindArrival
+)
+
+// Event is one timed occurrence. Payload fields are interpreted by callers.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Job     int // job id, or -1
+	Machine int // machine index, or -1
+	Version int // start-version guard for completion events
+
+	seq int
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	ea, eb := h[a], h[b]
+	if ea.Time != eb.Time {
+		return ea.Time < eb.Time
+	}
+	if ea.Kind != eb.Kind {
+		return ea.Kind < eb.Kind
+	}
+	return ea.seq < eb.seq
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic min-heap of events. The zero value is ready to
+// use.
+type Queue struct {
+	h   eventHeap
+	seq int
+}
+
+// Push inserts an event.
+func (q *Queue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// guard with Len.
+func (q *Queue) Pop() Event { return heap.Pop(&q.h).(Event) }
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() Event { return q.h[0] }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }

@@ -1,0 +1,101 @@
+// Package gantt renders audited schedules (sched.Outcome) as ASCII machine
+// timelines for the examples and cmd/schedsim. One row per machine; each
+// column is a time bucket showing the job running there (a cycling glyph),
+// '.' for idle and '#' where executions overlap (the §4 parallel model).
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Glyph returns the timeline glyph for a job id.
+func Glyph(id int) byte { return glyphs[id%len(glyphs)] }
+
+// Render draws the outcome over [0, horizon] with the given number of
+// columns. A zero horizon autosizes to the last interval end or
+// rejection time.
+func Render(ins *sched.Instance, o *sched.Outcome, width int, horizon float64) string {
+	if width <= 0 {
+		width = 80
+	}
+	if horizon <= 0 {
+		for _, iv := range o.Intervals {
+			if iv.End > horizon {
+				horizon = iv.End
+			}
+		}
+		for _, t := range o.Rejected {
+			if t > horizon {
+				horizon = t
+			}
+		}
+	}
+	if horizon <= 0 {
+		return "(empty schedule)\n"
+	}
+	dt := horizon / float64(width)
+
+	perMachine := make([][]sched.Interval, ins.Machines)
+	for _, iv := range o.Intervals {
+		if iv.Machine >= 0 && iv.Machine < ins.Machines {
+			perMachine[iv.Machine] = append(perMachine[iv.Machine], iv)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=0%st=%s\n", strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("t=%s", trim(horizon)))-3)), trim(horizon))
+	for i := 0; i < ins.Machines; i++ {
+		row := make([]byte, width)
+		for c := 0; c < width; c++ {
+			mid := (float64(c) + 0.5) * dt
+			var hits []int
+			for _, iv := range perMachine[i] {
+				if iv.Start <= mid && mid < iv.End {
+					hits = append(hits, iv.Job)
+				}
+			}
+			switch len(hits) {
+			case 0:
+				row[c] = '.'
+			case 1:
+				row[c] = Glyph(hits[0])
+			default:
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "m%-2d %s\n", i, row)
+	}
+	if len(o.Rejected) > 0 {
+		ids := make([]int, 0, len(o.Rejected))
+		for id := range o.Rejected {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		b.WriteString("rejected:")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %d@%s", id, trim(o.Rejected[id]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trim(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestRenderBasic(t *testing.T) {
+	ins := &sched.Instance{Machines: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4, 9}},
+		{ID: 1, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{9, 4}},
+	}}
+	o := sched.NewOutcome()
+	o.Completed[0] = 4
+	o.Completed[1] = 4
+	o.Intervals = []sched.Interval{
+		{Job: 0, Machine: 0, Start: 0, End: 4, Speed: 1},
+		{Job: 1, Machine: 1, Start: 0, End: 4, Speed: 1},
+	}
+	out := Render(ins, o, 8, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // axis + 2 machines
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "m0  0000....") {
+		t.Fatalf("machine 0 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "m1  1111....") {
+		t.Fatalf("machine 1 row wrong: %q", lines[2])
+	}
+}
+
+func TestRenderOverlapAndRejections(t *testing.T) {
+	ins := &sched.Instance{Machines: 1, Alpha: 2, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: 8, Proc: []float64{4}},
+		{ID: 1, Release: 0, Weight: 1, Deadline: 8, Proc: []float64{4}},
+		{ID: 2, Release: 0, Weight: 1, Deadline: 8, Proc: []float64{4}},
+	}}
+	o := sched.NewOutcome()
+	o.Completed[0] = 4
+	o.Completed[1] = 4
+	o.Rejected[2] = 2
+	o.Intervals = []sched.Interval{
+		{Job: 0, Machine: 0, Start: 0, End: 4, Speed: 1},
+		{Job: 1, Machine: 0, Start: 2, End: 6, Speed: 1},
+	}
+	out := Render(ins, o, 8, 8)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("overlap not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "rejected: 2@2") {
+		t.Fatalf("rejection line missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	ins := &sched.Instance{Machines: 1}
+	if out := Render(ins, sched.NewOutcome(), 40, 0); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderAutosizeAndRealOutcome(t *testing.T) {
+	insCfg := workload.DefaultConfig(40, 3, 4)
+	ins := workload.Random(insCfg)
+	res, err := flowtime.Run(ins, flowtime.Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(ins, res.Outcome, 60, 0)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+	for _, ln := range lines[1:4] {
+		if !strings.HasPrefix(ln, "m") {
+			t.Fatalf("machine row missing: %q", ln)
+		}
+		if len(ln) < 60 {
+			t.Fatalf("row narrower than width: %q", ln)
+		}
+	}
+}
+
+func TestGlyphCycles(t *testing.T) {
+	if Glyph(0) != '0' || Glyph(10) != 'a' || Glyph(62) != '0' {
+		t.Fatalf("glyph mapping broken: %c %c %c", Glyph(0), Glyph(10), Glyph(62))
+	}
+}

@@ -1,0 +1,280 @@
+// Package lowerbound computes honest lower bounds on the offline optimum for
+// the three objectives studied in the paper. Every experiment ratio in the
+// harness is reported against one of these bounds, so measured ratios always
+// upper-bound the true competitive ratio.
+//
+//   - FlowLP: the paper's own time-indexed LP relaxation of non-preemptive
+//     total flow time, solved exactly by internal/lpsolve on a discretized
+//     grid. The paper proves LP* ≤ 2·OPT, so FlowLP/2 lower-bounds OPT.
+//   - BruteForceFlow: the exact non-preemptive offline optimum for tiny
+//     instances by branch-and-bound over machine assignments and sequences.
+//   - MinProcSum: Σ_j min_i p_ij — every job's flow is at least its fastest
+//     processing time.
+//   - SoloFlowEnergy: Σ_j min over machines and speeds of the one-job-alone
+//     optimum w_j·p/s + p·s^(α−1) (closed form), valid because energy is
+//     superadditive across concurrent executions and flow can never beat a
+//     solo run.
+//   - SoloEnergy: Σ_j min_i p_ij^α/(d_j−r_j)^(α−1) — each job run alone at
+//     its minimum constant feasible speed.
+//   - BruteForceEnergy: exact discrete offline optimum for tiny deadline
+//     instances by exhaustive search over (machine, start, length).
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lpsolve"
+	"repro/internal/sched"
+)
+
+// MinProcSum returns Σ_j min_i p_ij, a universal flow-time lower bound.
+func MinProcSum(ins *sched.Instance) float64 {
+	var s float64
+	for k := range ins.Jobs {
+		s += ins.Jobs[k].MinProc()
+	}
+	return s
+}
+
+// FlowLP solves the discretized time-indexed LP relaxation of §2 with the
+// given number of time slots and returns its optimal value. The returned
+// value divided by 2 is a lower bound on the non-preemptive offline optimum.
+//
+// Discretization preserves the bound: slot costs use the slot's start time
+// (underestimating the continuous cost), and any feasible schedule maps to a
+// feasible slot solution, so LP_discrete ≤ LP_continuous ≤ 2·OPT.
+func FlowLP(ins *sched.Instance, slots int) (float64, error) {
+	if slots < 2 {
+		return 0, fmt.Errorf("lowerbound: need at least 2 slots, got %d", slots)
+	}
+	n, m := len(ins.Jobs), ins.Machines
+	// Horizon: everything finished if run back-to-back on one machine.
+	horizon := 0.0
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		if j.Release > horizon {
+			horizon = j.Release
+		}
+	}
+	var work float64
+	for k := range ins.Jobs {
+		work += ins.Jobs[k].MinProc()
+	}
+	horizon += work
+	dt := horizon / float64(slots)
+
+	// Variable y_{ijk} = machine-time units of job j on machine i in slot k.
+	idx := func(i, j, k int) int { return (i*n+j)*slots + k }
+	nv := n * m * slots
+	obj := make([]float64, nv)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			job := &ins.Jobs[j]
+			for k := 0; k < slots; k++ {
+				ts := float64(k) * dt
+				age := ts - job.Release
+				if age < 0 {
+					age = 0
+				}
+				obj[idx(i, j, k)] = age/job.Proc[i] + 1
+			}
+		}
+	}
+	p := &lpsolve.Problem{NumVars: nv, Objective: obj}
+	// Processing: Σ_{i,k} y/p_ij ≥ 1 over slots that end after the release.
+	for j := 0; j < n; j++ {
+		job := &ins.Jobs[j]
+		coef := make([]float64, nv)
+		for i := 0; i < m; i++ {
+			for k := 0; k < slots; k++ {
+				if float64(k+1)*dt > job.Release {
+					coef[idx(i, j, k)] = 1 / job.Proc[i]
+				}
+			}
+		}
+		p.Constraints = append(p.Constraints, lpsolve.Constraint{Coef: coef, Rel: lpsolve.GE, B: 1})
+	}
+	// Capacity: Σ_j y_{ijk} ≤ dt per machine-slot.
+	for i := 0; i < m; i++ {
+		for k := 0; k < slots; k++ {
+			coef := make([]float64, nv)
+			for j := 0; j < n; j++ {
+				coef[idx(i, j, k)] = 1
+			}
+			p.Constraints = append(p.Constraints, lpsolve.Constraint{Coef: coef, Rel: lpsolve.LE, B: dt})
+		}
+	}
+	sol, err := lpsolve.Solve(p)
+	if err != nil {
+		return 0, fmt.Errorf("lowerbound: flow LP: %w", err)
+	}
+	return sol.Objective, nil
+}
+
+// BruteForceFlow computes the exact offline non-preemptive optimum total
+// flow time by branch-and-bound over (machine, sequence) decisions. It is
+// exponential; callers should keep n ≤ 9.
+func BruteForceFlow(ins *sched.Instance) (float64, error) {
+	n := len(ins.Jobs)
+	if n > 12 {
+		return 0, fmt.Errorf("lowerbound: brute force limited to 12 jobs, got %d", n)
+	}
+	best := math.Inf(1)
+	// Per machine: current free time and accumulated flow.
+	free := make([]float64, ins.Machines)
+	used := make([]bool, n)
+	// Jobs are appended to machines one at a time. For a fixed assignment
+	// and per-machine order, scheduling ASAP in that order is optimal, so
+	// enumerating (next job, machine) pairs covers all schedules.
+	var rec func(placed int, flow float64)
+	rec = func(placed int, flow float64) {
+		if flow >= best {
+			return
+		}
+		if placed == n {
+			best = flow
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			job := &ins.Jobs[j]
+			used[j] = true
+			for i := 0; i < ins.Machines; i++ {
+				start := free[i]
+				if job.Release > start {
+					start = job.Release
+				}
+				end := start + job.Proc[i]
+				old := free[i]
+				free[i] = end
+				rec(placed+1, flow+end-job.Release)
+				free[i] = old
+			}
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// SoloFlowEnergy returns Σ_j min_i min_s [w_j·(p_ij/s) + (p_ij/s)·s^α], the
+// per-job solo optimum of weighted flow plus energy, a lower bound on the
+// Theorem 2 objective: a job's weighted flow is at least w·p/s for the speed
+// it runs at, and machine energy is superadditive, so total energy is at
+// least the sum of each job's own s^α·(p/s).
+func SoloFlowEnergy(ins *sched.Instance) float64 {
+	if ins.Alpha <= 1 {
+		return 0
+	}
+	alpha := ins.Alpha
+	var total float64
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		best := math.Inf(1)
+		for i := 0; i < ins.Machines; i++ {
+			// minimize g(s) = w·p/s + p·s^(α−1); g'(s*)=0 at
+			// s* = (w/(α−1))^(1/α).
+			s := math.Pow(j.Weight/(alpha-1), 1/alpha)
+			cost := j.Weight*j.Proc[i]/s + j.Proc[i]*math.Pow(s, alpha-1)
+			if cost < best {
+				best = cost
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// SoloEnergy returns Σ_j min_i p_ij^α/(d_j−r_j)^(α−1): each job alone at the
+// minimum constant speed that meets its deadline. Valid lower bound for the
+// §4 objective by superadditivity of s^α.
+func SoloEnergy(ins *sched.Instance) float64 {
+	alpha := ins.Alpha
+	var total float64
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		window := j.Deadline - j.Release
+		best := math.Inf(1)
+		for i := 0; i < ins.Machines; i++ {
+			e := math.Pow(j.Proc[i], alpha) / math.Pow(window, alpha-1)
+			if e < best {
+				best = e
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// BruteForceEnergy computes the exact offline optimum of the discretized §4
+// energy problem (integer slots, one constant-speed window per job, parallel
+// execution allowed) by exhaustive search. Exponential; keep n ≤ 4 and small
+// horizons.
+func BruteForceEnergy(ins *sched.Instance, horizon int) (float64, error) {
+	n := len(ins.Jobs)
+	if n > 5 {
+		return 0, fmt.Errorf("lowerbound: energy brute force limited to 5 jobs, got %d", n)
+	}
+	type placement struct {
+		machine, start, length int
+		speed                  float64
+	}
+	options := make([][]placement, n)
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		r := int(math.Ceil(j.Release - sched.Eps))
+		d := int(math.Floor(j.Deadline + sched.Eps))
+		if d > horizon {
+			d = horizon
+		}
+		for i := 0; i < ins.Machines; i++ {
+			for start := r; start < d; start++ {
+				for length := 1; start+length <= d; length++ {
+					options[k] = append(options[k], placement{i, start, length, j.Proc[i] / float64(length)})
+				}
+			}
+		}
+		if len(options[k]) == 0 {
+			return 0, fmt.Errorf("lowerbound: job %d has no feasible placement", j.ID)
+		}
+	}
+	u := make([][]float64, ins.Machines)
+	for i := range u {
+		u[i] = make([]float64, horizon)
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	energy := func() float64 {
+		var e float64
+		for i := range u {
+			for t := range u[i] {
+				if u[i][t] > 0 {
+					e += math.Pow(u[i][t], ins.Alpha)
+				}
+			}
+		}
+		return e
+	}
+	rec = func(k int) {
+		if k == n {
+			if e := energy(); e < best {
+				best = e
+			}
+			return
+		}
+		for _, pl := range options[k] {
+			for t := pl.start; t < pl.start+pl.length; t++ {
+				u[pl.machine][t] += pl.speed
+			}
+			rec(k + 1)
+			for t := pl.start; t < pl.start+pl.length; t++ {
+				u[pl.machine][t] -= pl.speed
+			}
+		}
+	}
+	rec(0)
+	return best, nil
+}

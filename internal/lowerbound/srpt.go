@@ -1,0 +1,82 @@
+package lowerbound
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// SRPTBound returns the total flow time of the preemptive SRPT schedule on a
+// single machine of speed m processing each job with size p̃_j = min_i p_ij.
+// This lower-bounds the non-preemptive unrelated-machine optimum:
+//
+//   - any m-machine schedule can be simulated by a speed-m single machine
+//     that splits its capacity into m unit-rate streams, finishing every job
+//     no later, with sizes only shrunk to p̃_j;
+//   - on a single machine with preemption, SRPT minimizes total flow time
+//     exactly (Schrage's rule).
+//
+// It is typically much tighter than Σ_j p̃_j under load.
+func SRPTBound(ins *sched.Instance) float64 {
+	type jb struct {
+		release float64
+		rem     float64
+	}
+	jobs := make([]jb, 0, len(ins.Jobs))
+	var releaseSum float64
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		jobs = append(jobs, jb{release: j.Release, rem: j.MinProc()})
+		releaseSum += j.Release
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].release < jobs[b].release })
+
+	speed := float64(ins.Machines)
+	h := &remHeap{}
+	var completionSum float64
+	t := 0.0
+	next := 0
+	for next < len(jobs) || h.Len() > 0 {
+		if h.Len() == 0 {
+			if jobs[next].release > t {
+				t = jobs[next].release
+			}
+			heap.Push(h, jobs[next].rem)
+			next++
+			continue
+		}
+		// Run the smallest remaining job until it finishes or the next
+		// release, whichever comes first.
+		rem := (*h)[0]
+		finish := t + rem/speed
+		if next < len(jobs) && jobs[next].release < finish {
+			dt := jobs[next].release - t
+			(*h)[0] = rem - dt*speed
+			heap.Fix(h, 0)
+			t = jobs[next].release
+			heap.Push(h, jobs[next].rem)
+			next++
+			continue
+		}
+		heap.Pop(h)
+		t = finish
+		completionSum += finish
+	}
+	// Total flow = Σ(C_j − r_j); only the multisets matter.
+	return completionSum - releaseSum
+}
+
+type remHeap []float64
+
+func (h remHeap) Len() int           { return len(h) }
+func (h remHeap) Less(a, b int) bool { return h[a] < h[b] }
+func (h remHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *remHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *remHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,93 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestSRPTSingleMachineHand(t *testing.T) {
+	// Single machine: job A (p=4, r=0), job B (p=1, r=1). SRPT preempts A:
+	// B runs [1,2), A finishes at 5. Flow = 5 + 1 = 6.
+	ins := &sched.Instance{Machines: 1, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4}},
+		{ID: 1, Release: 1, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{1}},
+	}}
+	if got := SRPTBound(ins); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("SRPTBound = %v, want 6", got)
+	}
+}
+
+func TestSRPTNoPreemptionNeeded(t *testing.T) {
+	// Two sequential jobs with a gap: flow is just the processing times.
+	ins := &sched.Instance{Machines: 1, Jobs: []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2}},
+		{ID: 1, Release: 10, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{3}},
+	}}
+	if got := SRPTBound(ins); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("SRPTBound = %v, want 5", got)
+	}
+}
+
+func TestSRPTSpeedScalesWithMachines(t *testing.T) {
+	// Same sizes on every machine: the pooled machine runs at speed m.
+	jobs := []sched.Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4, 4}},
+		{ID: 1, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4, 4}},
+	}
+	ins := &sched.Instance{Machines: 2, Jobs: jobs}
+	// speed 2: first job done at 2, second at 4 → flow 6.
+	if got := SRPTBound(ins); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("SRPTBound = %v, want 6", got)
+	}
+}
+
+// TestSRPTLowerBoundsBruteForce is the soundness property: the bound never
+// exceeds the exact non-preemptive optimum.
+func TestSRPTLowerBoundsBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		cfg := workload.DefaultConfig(6, 2, seed)
+		cfg.MaxSize = 8
+		ins := workload.Random(cfg)
+		opt, err := BruteForceFlow(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := SRPTBound(ins); lb > opt+1e-6 {
+			t.Fatalf("seed %d: SRPT bound %v exceeds OPT %v", seed, lb, opt)
+		}
+	}
+}
+
+func TestSRPTDominatesMinProcSum(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := workload.DefaultConfig(60, 3, seed)
+		cfg.Load = 1.2
+		ins := workload.Random(cfg)
+		return SRPTBound(ins) >= MinProcSum(ins)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRPTTighterUnderLoad(t *testing.T) {
+	cfg := workload.DefaultConfig(200, 2, 5)
+	cfg.Load = 1.5
+	ins := workload.Random(cfg)
+	lbS := SRPTBound(ins)
+	lbP := MinProcSum(ins)
+	if lbS <= lbP {
+		t.Fatalf("under overload SRPT bound (%v) should beat Σ min p (%v)", lbS, lbP)
+	}
+}
+
+func TestSRPTEmptyInstance(t *testing.T) {
+	ins := &sched.Instance{Machines: 2}
+	if got := SRPTBound(ins); got != 0 {
+		t.Fatalf("SRPTBound(empty) = %v", got)
+	}
+}

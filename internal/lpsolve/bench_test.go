@@ -1,0 +1,36 @@
+package lpsolve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomLP(nVars, nCons int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{NumVars: nVars, Objective: make([]float64, nVars)}
+	for j := range p.Objective {
+		p.Objective[j] = 0.5 + rng.Float64()
+	}
+	for i := 0; i < nCons; i++ {
+		c := Constraint{Coef: make([]float64, nVars), Rel: GE, B: 1 + rng.Float64()*3}
+		for j := range c.Coef {
+			c.Coef[j] = 0.1 + rng.Float64()
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+func benchSolve(b *testing.B, nVars, nCons int) {
+	p := randomLP(nVars, nCons, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve20x10(b *testing.B)  { benchSolve(b, 20, 10) }
+func BenchmarkSolve100x40(b *testing.B) { benchSolve(b, 100, 40) }
+func BenchmarkSolve300x80(b *testing.B) { benchSolve(b, 300, 80) }

@@ -1,0 +1,308 @@
+// Package lpsolve implements a dense two-phase primal simplex solver with
+// Bland's anti-cycling rule. It is used to solve the paper's time-indexed LP
+// relaxation of the flow-time problem exactly on small discretized instances,
+// giving an honest lower bound on the offline optimum (the paper shows
+// LP* ≤ 2·OPT).
+//
+// The solver handles problems of the form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i   for every constraint i
+//	            x ≥ 0
+//
+// It is exact up to floating-point tolerance and intended for the problem
+// sizes of the experiment harness (hundreds of variables), not for
+// industrial LPs.
+package lpsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+// Constraint is one linear constraint Coef·x Rel B.
+type Constraint struct {
+	Coef []float64
+	Rel  Rel
+	B    float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Solution is an optimal solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lpsolve: infeasible")
+	ErrUnbounded  = errors.New("lpsolve: unbounded")
+	ErrIterations = errors.New("lpsolve: iteration limit exceeded")
+)
+
+const (
+	tol     = 1e-9
+	maxIter = 200000
+)
+
+type tableau struct {
+	m, n  int         // constraint rows, total columns (structural+slack+artificial)
+	a     [][]float64 // m rows × n cols
+	b     []float64   // m
+	basis []int       // basic variable per row
+	nArt  int         // number of artificial columns (last nArt columns)
+}
+
+// Solve runs two-phase simplex and returns the optimal solution.
+func Solve(p *Problem) (*Solution, error) {
+	if err := check(p); err != nil {
+		return nil, err
+	}
+	t := build(p)
+	// Phase 1: minimize the sum of artificials.
+	if t.nArt > 0 {
+		c1 := make([]float64, t.n)
+		for j := t.n - t.nArt; j < t.n; j++ {
+			c1[j] = 1
+		}
+		v, err := t.optimize(c1)
+		if err != nil {
+			return nil, err
+		}
+		if v > 1e-6 {
+			return nil, ErrInfeasible
+		}
+		if err := t.evictArtificials(); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: original objective (artificial columns are frozen out).
+	c2 := make([]float64, t.n)
+	copy(c2, p.Objective)
+	v, err := t.optimize(c2)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, p.NumVars)
+	for r, j := range t.basis {
+		if j < p.NumVars {
+			x[j] = t.b[r]
+		}
+	}
+	return &Solution{X: x, Objective: v}, nil
+}
+
+func check(p *Problem) error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lpsolve: NumVars = %d", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lpsolve: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coef) != p.NumVars {
+			return fmt.Errorf("lpsolve: constraint %d has %d coefficients, want %d", i, len(c.Coef), p.NumVars)
+		}
+	}
+	return nil
+}
+
+// build converts to standard equality form with b ≥ 0 and an identity
+// starting basis of slacks/artificials.
+func build(p *Problem) *tableau {
+	m := len(p.Constraints)
+	nSlack, nArt := 0, 0
+	for _, c := range p.Constraints {
+		rel, b := c.Rel, c.B
+		if b < 0 { // normalizing flips the relation
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := p.NumVars + nSlack + nArt
+	t := &tableau{m: m, n: n, nArt: nArt,
+		a: make([][]float64, m), b: make([]float64, m), basis: make([]int, m)}
+	slack := p.NumVars
+	art := p.NumVars + nSlack
+	for i, c := range p.Constraints {
+		row := make([]float64, n)
+		sign := 1.0
+		rel, b := c.Rel, c.B
+		if b < 0 {
+			sign, b = -1, -b
+			rel = flip(rel)
+		}
+		for j, v := range c.Coef {
+			row[j] = sign * v
+		}
+		switch rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+		t.b[i] = b
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// optimize runs primal simplex for min c·x from the current basis. Artificial
+// columns are never allowed to re-enter once phase 1 finished (callers pass
+// c with zero cost there; evictArtificials zeroes their columns).
+func (t *tableau) optimize(c []float64) (float64, error) {
+	// y = c_B per row; reduced cost of column j: c_j − Σ_r y_r a_rj.
+	for iter := 0; iter < maxIter; iter++ {
+		cb := make([]float64, t.m)
+		for r, j := range t.basis {
+			cb[r] = c[j]
+		}
+		// Bland: entering = smallest column index with reduced cost < −tol.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			rc := c[j]
+			for r := 0; r < t.m; r++ {
+				rc -= cb[r] * t.a[r][j]
+			}
+			if rc < -tol {
+				if isBasic(t.basis, j) {
+					continue
+				}
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			var obj float64
+			for r, j := range t.basis {
+				obj += c[j] * t.b[r]
+			}
+			return obj, nil
+		}
+		// Ratio test (Bland tie-break on basis variable index).
+		leave, best := -1, math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter] > tol {
+				ratio := t.b[r] / t.a[r][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave == -1 || t.basis[r] < t.basis[leave])) {
+					leave, best = r, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, ErrIterations
+}
+
+func isBasic(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tableau) pivot(r, j int) {
+	pv := t.a[r][j]
+	for k := 0; k < t.n; k++ {
+		t.a[r][k] /= pv
+	}
+	t.b[r] /= pv
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][j]
+		if f == 0 {
+			continue
+		}
+		for k := 0; k < t.n; k++ {
+			t.a[i][k] -= f * t.a[r][k]
+		}
+		t.b[i] -= f * t.b[r]
+	}
+	t.basis[r] = j
+}
+
+// evictArtificials pivots basic artificials out (or confirms their rows are
+// redundant) and removes artificial columns from further consideration.
+func (t *tableau) evictArtificials() error {
+	artStart := t.n - t.nArt
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < artStart {
+			continue
+		}
+		// Try to pivot in any non-artificial column with nonzero coefficient.
+		done := false
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[r][j]) > tol && !isBasic(t.basis, j) {
+				t.pivot(r, j)
+				done = true
+				break
+			}
+		}
+		if !done && math.Abs(t.b[r]) > 1e-6 {
+			return ErrInfeasible
+		}
+		// Otherwise the row is redundant; the artificial stays basic at 0.
+	}
+	// Freeze artificial columns so they can never re-enter.
+	for r := 0; r < t.m; r++ {
+		for j := artStart; j < t.n; j++ {
+			if t.basis[r] != j {
+				t.a[r][j] = 0
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package lpsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	checkFeasible(t, p, s.X)
+	return s
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	for _, v := range x {
+		if v < -1e-7 {
+			t.Fatalf("negative variable %v", v)
+		}
+	}
+	for i, c := range p.Constraints {
+		lhs := 0.0
+		for j, v := range c.Coef {
+			lhs += v * x[j]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.B+1e-6*(1+math.Abs(c.B)) {
+				t.Fatalf("constraint %d violated: %v > %v", i, lhs, c.B)
+			}
+		case GE:
+			if lhs < c.B-1e-6*(1+math.Abs(c.B)) {
+				t.Fatalf("constraint %d violated: %v < %v", i, lhs, c.B)
+			}
+		case EQ:
+			if math.Abs(lhs-c.B) > 1e-6*(1+math.Abs(c.B)) {
+				t.Fatalf("constraint %d violated: %v != %v", i, lhs, c.B)
+			}
+		}
+	}
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6  →  min −x−y; optimum at (1.6, 1.2).
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 2}, Rel: LE, B: 4},
+			{Coef: []float64{3, 1}, Rel: LE, B: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-2.8)) > 1e-6 {
+		t.Fatalf("objective %v, want -2.8", s.Objective)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x ≥ 4  → x=10? y=0: but x+y=10, x≥4 → best all x: 2·10=20? no:
+	// cost x is 2 < 3 so put everything on x: x=10,y=0 → 20.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, B: 10},
+			{Coef: []float64{1, 0}, Rel: GE, B: 4},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-20) > 1e-6 {
+		t.Fatalf("objective %v, want 20", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: LE, B: 1},
+			{Coef: []float64{1}, Rel: GE, B: 2},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, B: 1},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x ≥ 2 written as −x ≤ −2.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{-1}, Rel: LE, B: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective %v, want 2", s.Objective)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles without an anti-cycling rule).
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Rel: LE, B: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Rel: LE, B: 0},
+			{Coef: []float64{0, 0, 1, 0}, Rel: LE, B: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective %v, want -0.05", s.Objective)
+	}
+}
+
+func TestStrongDualityOnRandomLPs(t *testing.T) {
+	// Primal: min c·x s.t. Ax ≥ b, x ≥ 0 (A,b,c > 0 ⇒ feasible & bounded).
+	// Dual:   max b·y s.t. Aᵀy ≤ c, y ≥ 0 — solved as min −b·y.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 2 + rng.Intn(5)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		c := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = 0.1 + rng.Float64()
+			}
+			b[i] = 0.5 + rng.Float64()*3
+		}
+		for j := range c {
+			c[j] = 0.5 + rng.Float64()*2
+		}
+		primal := &Problem{NumVars: n, Objective: c}
+		for i := 0; i < m; i++ {
+			primal.Constraints = append(primal.Constraints, Constraint{Coef: a[i], Rel: GE, B: b[i]})
+		}
+		dualObj := make([]float64, m)
+		for i := range dualObj {
+			dualObj[i] = -b[i]
+		}
+		dual := &Problem{NumVars: m, Objective: dualObj}
+		for j := 0; j < n; j++ {
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = a[i][j]
+			}
+			dual.Constraints = append(dual.Constraints, Constraint{Coef: col, Rel: LE, B: c[j]})
+		}
+		ps := solveOK(t, primal)
+		ds := solveOK(t, dual)
+		if math.Abs(ps.Objective-(-ds.Objective)) > 1e-5*(1+math.Abs(ps.Objective)) {
+			t.Fatalf("trial %d: duality gap: primal %v, dual %v", trial, ps.Objective, -ds.Objective)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Fatal("accepted zero variables")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Fatal("accepted objective length mismatch")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1},
+		Constraints: []Constraint{{Coef: []float64{1, 2}, Rel: LE, B: 1}}}); err == nil {
+		t.Fatal("accepted constraint length mismatch")
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// The second constraint is the first times two: after phase 1 one
+	// artificial stays basic at zero on the redundant row and must be
+	// frozen, not declared infeasible.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, B: 1},
+			{Coef: []float64{2, 2}, Rel: EQ, B: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-1) > 1e-6 { // all mass on the cheap variable
+		t.Fatalf("objective %v, want 1", s.Objective)
+	}
+}
+
+func TestInconsistentEqualityRows(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, B: 1},
+			{Coef: []float64{2, 2}, Rel: EQ, B: 3},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDegenerateEqualityZeroRHS(t *testing.T) {
+	// x = 0 forces the variable out entirely.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 0}, Rel: EQ, B: 0},
+			{Coef: []float64{0, 1}, Rel: LE, B: 5},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-5)) > 1e-6 {
+		t.Fatalf("objective %v, want -5", s.Objective)
+	}
+	if s.X[0] > 1e-9 {
+		t.Fatalf("x0 = %v, want 0", s.X[0])
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	// min x with x ≥ 0 and nothing else: optimum 0.
+	s := solveOK(t, &Problem{NumVars: 1, Objective: []float64{1}})
+	if s.Objective != 0 {
+		t.Fatalf("objective %v, want 0", s.Objective)
+	}
+}

@@ -1,0 +1,50 @@
+package ostree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildTree(n int, seed uint64) *Tree {
+	tr := New(seed)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := 0; i < n; i++ {
+		tr.Insert(Key{P: rng.Float64() * 100, Release: rng.Float64(), ID: i})
+	}
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Key{P: rng.Float64() * 100, ID: i})
+		if tr.Len() > 100000 {
+			b.StopTimer()
+			tr = New(uint64(i))
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkRankStats(b *testing.B) {
+	tr := buildTree(10000, 7)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RankStats(Key{P: rng.Float64() * 100, ID: -1})
+	}
+}
+
+func BenchmarkInsertDeleteMinMax(b *testing.B) {
+	tr := buildTree(10000, 9)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Key{P: rng.Float64() * 100, ID: 100000 + i})
+		tr.DeleteMin()
+		tr.Insert(Key{P: rng.Float64() * 100, ID: 200000 + i})
+		tr.DeleteMax()
+	}
+}

@@ -1,0 +1,262 @@
+// Package ostree implements an order-statistic treap augmented with subtree
+// sums. It backs the per-machine pending queues of the flow-time scheduler
+// (internal/core/flowtime): at every job arrival the dispatch rule needs, for
+// a hypothetical insertion position in the shortest-processing-time order,
+// the prefix sum Σ_{ℓ≺j} p_iℓ and the count |{ℓ ≻ j}| — both O(log n) here —
+// plus delete-min (start next job) and delete-max (Rejection Rule 2).
+//
+// Keys order by (P, Release, ID), all strict, so the order is total whenever
+// IDs are unique.
+package ostree
+
+// Key identifies an element in SPT order: processing time first, then
+// release time, then job id as the final tie-break.
+type Key struct {
+	P       float64
+	Release float64
+	ID      int
+}
+
+// Less reports strict order between keys.
+func (k Key) Less(o Key) bool {
+	if k.P != o.P {
+		return k.P < o.P
+	}
+	if k.Release != o.Release {
+		return k.Release < o.Release
+	}
+	return k.ID < o.ID
+}
+
+type node struct {
+	key         Key
+	prio        uint64
+	left, right *node
+	count       int
+	sumP        float64
+}
+
+func (n *node) update() {
+	n.count = 1
+	n.sumP = n.key.P
+	if n.left != nil {
+		n.count += n.left.count
+		n.sumP += n.left.sumP
+	}
+	if n.right != nil {
+		n.count += n.right.count
+		n.sumP += n.right.sumP
+	}
+}
+
+// Tree is an order-statistic treap. The zero value is not ready; use New so
+// the priority stream is seeded deterministically.
+type Tree struct {
+	root *node
+	rng  uint64
+}
+
+// New returns an empty tree with a deterministic priority stream derived
+// from seed.
+func New(seed uint64) *Tree {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Tree{rng: seed}
+}
+
+// splitmix64 advances the internal PRNG.
+func (t *Tree) next() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len reports the number of stored elements.
+func (t *Tree) Len() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.count
+}
+
+// SumP reports the sum of P over all stored elements.
+func (t *Tree) SumP() float64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.sumP
+}
+
+func split(n *node, k Key) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key.Less(k) {
+		n.right, r = split(n.right, k)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, k)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+// Insert adds a key. Inserting a key already present corrupts order-statistic
+// queries; callers must keep IDs unique.
+func (t *Tree) Insert(k Key) {
+	nn := &node{key: k, prio: t.next()}
+	nn.update()
+	l, r := split(t.root, k)
+	t.root = merge(merge(l, nn), r)
+}
+
+// Delete removes the exact key if present and reports whether it was found.
+func (t *Tree) Delete(k Key) bool {
+	var found bool
+	var del func(n *node) *node
+	del = func(n *node) *node {
+		if n == nil {
+			return nil
+		}
+		if n.key == k {
+			found = true
+			return merge(n.left, n.right)
+		}
+		if k.Less(n.key) {
+			n.left = del(n.left)
+		} else {
+			n.right = del(n.right)
+		}
+		n.update()
+		return n
+	}
+	t.root = del(t.root)
+	return found
+}
+
+// Min returns the smallest key. ok is false on an empty tree.
+func (t *Tree) Min() (k Key, ok bool) {
+	n := t.root
+	if n == nil {
+		return Key{}, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key. ok is false on an empty tree.
+func (t *Tree) Max() (k Key, ok bool) {
+	n := t.root
+	if n == nil {
+		return Key{}, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// DeleteMin removes and returns the smallest key.
+func (t *Tree) DeleteMin() (Key, bool) {
+	k, ok := t.Min()
+	if ok {
+		t.Delete(k)
+	}
+	return k, ok
+}
+
+// DeleteMax removes and returns the largest key.
+func (t *Tree) DeleteMax() (Key, bool) {
+	k, ok := t.Max()
+	if ok {
+		t.Delete(k)
+	}
+	return k, ok
+}
+
+// RankStats returns, for a hypothetical insertion of k, the number and P-sum
+// of stored elements strictly before k, and the number strictly after k.
+// k itself need not be stored.
+func (t *Tree) RankStats(k Key) (before int, sumPBefore float64, after int) {
+	n := t.root
+	for n != nil {
+		if n.key.Less(k) {
+			before++
+			sumPBefore += n.key.P
+			if n.left != nil {
+				before += n.left.count
+				sumPBefore += n.left.sumP
+			}
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	after = t.Len() - before
+	if t.contains(k) {
+		after--
+	}
+	return before, sumPBefore, after
+}
+
+func (t *Tree) contains(k Key) bool {
+	n := t.root
+	for n != nil {
+		if n.key == k {
+			return true
+		}
+		if k.Less(n.key) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return false
+}
+
+// Ascend calls fn on every key in order, stopping early if fn returns false.
+func (t *Tree) Ascend(fn func(Key) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !fn(n.key) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Keys returns all keys in order (testing helper).
+func (t *Tree) Keys() []Key {
+	out := make([]Key, 0, t.Len())
+	t.Ascend(func(k Key) bool { out = append(out, k); return true })
+	return out
+}

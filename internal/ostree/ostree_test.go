@@ -1,0 +1,195 @@
+package ostree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// reference is a brute-force model of the tree used by the property tests.
+type reference struct{ keys []Key }
+
+func (r *reference) insert(k Key) {
+	r.keys = append(r.keys, k)
+	sort.Slice(r.keys, func(a, b int) bool { return r.keys[a].Less(r.keys[b]) })
+}
+
+func (r *reference) delete(k Key) bool {
+	for i, kk := range r.keys {
+		if kk == k {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *reference) rankStats(k Key) (before int, sumP float64, after int) {
+	for _, kk := range r.keys {
+		switch {
+		case kk.Less(k):
+			before++
+			sumP += kk.P
+		case k.Less(kk):
+			after++
+		}
+	}
+	return
+}
+
+func randKey(rng *rand.Rand, idSpace int) Key {
+	return Key{
+		P:       float64(rng.Intn(20)) / 2,
+		Release: float64(rng.Intn(10)),
+		ID:      rng.Intn(idSpace),
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(1)
+	ref := &reference{}
+	present := map[Key]bool{}
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(6); {
+		case op <= 2: // insert
+			k := randKey(rng, 1000)
+			for present[k] {
+				k.ID = rng.Intn(1 << 20)
+			}
+			present[k] = true
+			tr.Insert(k)
+			ref.insert(k)
+		case op == 3 && len(ref.keys) > 0: // delete random present key
+			k := ref.keys[rng.Intn(len(ref.keys))]
+			delete(present, k)
+			if !tr.Delete(k) {
+				t.Fatalf("step %d: Delete(%v) not found", step, k)
+			}
+			ref.delete(k)
+		case op == 4 && len(ref.keys) > 0: // delete-min
+			k, ok := tr.DeleteMin()
+			if !ok || k != ref.keys[0] {
+				t.Fatalf("step %d: DeleteMin = %v, want %v", step, k, ref.keys[0])
+			}
+			delete(present, k)
+			ref.delete(k)
+		case op == 5 && len(ref.keys) > 0: // delete-max
+			k, ok := tr.DeleteMax()
+			if !ok || k != ref.keys[len(ref.keys)-1] {
+				t.Fatalf("step %d: DeleteMax = %v, want %v", step, k, ref.keys[len(ref.keys)-1])
+			}
+			delete(present, k)
+			ref.delete(k)
+		}
+		if tr.Len() != len(ref.keys) {
+			t.Fatalf("step %d: Len = %d, want %d", step, tr.Len(), len(ref.keys))
+		}
+		if step%97 == 0 {
+			// spot-check aggregates and rank stats
+			var wantSum float64
+			for _, k := range ref.keys {
+				wantSum += k.P
+			}
+			if diff := tr.SumP() - wantSum; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("step %d: SumP = %v, want %v", step, tr.SumP(), wantSum)
+			}
+			probe := randKey(rng, 1000)
+			b, s, a := tr.RankStats(probe)
+			wb, ws, wa := ref.rankStats(probe)
+			if b != wb || a != wa || s-ws > 1e-9 || ws-s > 1e-9 {
+				t.Fatalf("step %d: RankStats(%v) = (%d,%v,%d), want (%d,%v,%d)",
+					step, probe, b, s, a, wb, ws, wa)
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.SumP() != 0 {
+		t.Fatal("empty tree has non-zero aggregates")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if _, ok := tr.DeleteMax(); ok {
+		t.Fatal("DeleteMax on empty tree reported ok")
+	}
+	if tr.Delete(Key{ID: 3}) {
+		t.Fatal("Delete on empty tree reported found")
+	}
+	b, s, a := tr.RankStats(Key{P: 1})
+	if b != 0 || s != 0 || a != 0 {
+		t.Fatal("RankStats on empty tree non-zero")
+	}
+}
+
+func TestKeysSortedProperty(t *testing.T) {
+	f := func(ps []float64, seed int64) bool {
+		tr := New(uint64(seed))
+		for i, p := range ps {
+			if p < 0 {
+				p = -p
+			}
+			tr.Insert(Key{P: p, ID: i})
+		}
+		keys := tr.Keys()
+		if len(keys) != len(ps) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankStatsExcludesSelf(t *testing.T) {
+	tr := New(1)
+	k := Key{P: 5, Release: 1, ID: 3}
+	tr.Insert(k)
+	tr.Insert(Key{P: 1, ID: 1})
+	tr.Insert(Key{P: 9, ID: 9})
+	before, sum, after := tr.RankStats(k)
+	if before != 1 || sum != 1 || after != 1 {
+		t.Fatalf("RankStats = (%d,%v,%d), want (1,1,1): stored key must not count itself", before, sum, after)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 10; i++ {
+		tr.Insert(Key{P: float64(i), ID: i})
+	}
+	count := 0
+	tr.Ascend(func(Key) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("Ascend visited %d keys, want 3", count)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	build := func() []Key {
+		tr := New(99)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 100; i++ {
+			tr.Insert(Key{P: rng.Float64(), ID: i})
+		}
+		for i := 0; i < 20; i++ {
+			tr.DeleteMin()
+			tr.DeleteMax()
+		}
+		return tr.Keys()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic contents")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metrics summarizes the cost of an outcome under the objectives studied in
+// the paper.
+type Metrics struct {
+	// TotalFlow is Σ_j F_j over all jobs, counting a rejected job's flow
+	// until its rejection instant (the paper's convention).
+	TotalFlow float64
+	// WeightedFlow is Σ_j w_j F_j with the same convention.
+	WeightedFlow float64
+	// Energy is Σ_i ∫ (Σ_{running on i} s)^α dt. Zero when the instance
+	// has Alpha == 0.
+	Energy float64
+	// MaxFlow is max_j F_j.
+	MaxFlow float64
+	// MeanFlow and P99Flow summarize the per-job flow distribution.
+	MeanFlow float64
+	P99Flow  float64
+	// Completed / Rejected job counts and the rejected weight.
+	Completed      int
+	Rejected       int
+	RejectedWeight float64
+	// Makespan is the last completion/rejection instant.
+	Makespan float64
+}
+
+// WeightedFlowPlusEnergy is the Theorem 2 objective.
+func (m Metrics) WeightedFlowPlusEnergy() float64 { return m.WeightedFlow + m.Energy }
+
+// ComputeMetrics derives Metrics from an outcome. It never mutates its
+// arguments. Energy integrates machine power over the breakpoint sweep of all
+// intervals per machine, so overlapping executions (allowed in the §4 model)
+// cost (Σ speeds)^α.
+func ComputeMetrics(ins *Instance, o *Outcome) (Metrics, error) {
+	var m Metrics
+	flows := make([]float64, 0, len(ins.Jobs))
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		f, err := o.FlowTime(j)
+		if err != nil {
+			return m, err
+		}
+		flows = append(flows, f)
+		m.TotalFlow += f
+		m.WeightedFlow += j.Weight * f
+		if f > m.MaxFlow {
+			m.MaxFlow = f
+		}
+		if c, ok := o.Completed[j.ID]; ok {
+			m.Completed++
+			if c > m.Makespan {
+				m.Makespan = c
+			}
+		}
+		if c, ok := o.Rejected[j.ID]; ok {
+			m.Rejected++
+			m.RejectedWeight += j.Weight
+			if c > m.Makespan {
+				m.Makespan = c
+			}
+		}
+	}
+	if len(flows) > 0 {
+		m.MeanFlow = m.TotalFlow / float64(len(flows))
+		sort.Float64s(flows)
+		idx := int(math.Ceil(0.99*float64(len(flows)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		m.P99Flow = flows[idx]
+	}
+	if ins.Alpha > 0 {
+		m.Energy = EnergyOf(ins, o.Intervals)
+	}
+	return m, nil
+}
+
+// EnergyOf integrates Σ_i ∫ P_i(speed_i(t)) dt with P(s) = s^Alpha over the
+// given intervals, summing speeds of concurrently running intervals on the
+// same machine.
+func EnergyOf(ins *Instance, ivs []Interval) float64 {
+	type edge struct {
+		t     float64
+		speed float64 // +s at start, -s at end
+	}
+	perMachine := make([][]edge, ins.Machines)
+	for _, iv := range ivs {
+		if iv.End <= iv.Start {
+			continue
+		}
+		perMachine[iv.Machine] = append(perMachine[iv.Machine],
+			edge{iv.Start, iv.Speed}, edge{iv.End, -iv.Speed})
+	}
+	var total float64
+	for _, edges := range perMachine {
+		sort.Slice(edges, func(a, b int) bool { return edges[a].t < edges[b].t })
+		var cur, last float64
+		for _, e := range edges {
+			if e.t > last && cur > Eps {
+				total += (e.t - last) * math.Pow(cur, ins.Alpha)
+			}
+			if e.t > last {
+				last = e.t
+			}
+			cur += e.speed
+			if cur < 0 && cur > -Eps {
+				cur = 0
+			}
+		}
+	}
+	return total
+}
+
+// ValidateMode selects which invariants ValidateOutcome enforces.
+type ValidateMode struct {
+	// AllowParallel permits overlapping executions on one machine (the §4
+	// energy model). Default false: machines run one job at a time.
+	AllowParallel bool
+	// AllowPreemption permits a job to execute in multiple intervals
+	// (used only by the preemptive reference comparator; the paper's
+	// algorithms are all non-preemptive). All of a job's intervals must
+	// still be on one machine and deliver the full processing volume.
+	AllowPreemption bool
+	// RequireDeadlines enforces completion before each job's deadline.
+	RequireDeadlines bool
+	// RequireUnitSpeed requires every interval to run at speed 1.
+	RequireUnitSpeed bool
+}
+
+// ValidateOutcome audits an outcome against an instance:
+//
+//   - every job is either completed or rejected, never both;
+//   - executions start at/after release and, per job, form one contiguous
+//     constant-speed block (non-preemption); rejected jobs may have one
+//     partial block ending at the rejection time;
+//   - completed jobs receive their full processing volume on their machine;
+//   - machines run at most one job at a time unless AllowParallel;
+//   - deadlines hold when RequireDeadlines.
+func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
+	byJob := make(map[int][]Interval)
+	for _, iv := range ivSorted(o.Intervals) {
+		if iv.Start < -Eps || iv.End < iv.Start-Eps {
+			return fmt.Errorf("sched: interval %+v malformed", iv)
+		}
+		if iv.Speed <= 0 {
+			return fmt.Errorf("sched: interval %+v has non-positive speed", iv)
+		}
+		if iv.Machine < 0 || iv.Machine >= ins.Machines {
+			return fmt.Errorf("sched: interval %+v on unknown machine", iv)
+		}
+		if mode.RequireUnitSpeed && math.Abs(iv.Speed-1) > Eps {
+			return fmt.Errorf("sched: interval %+v not unit speed", iv)
+		}
+		byJob[iv.Job] = append(byJob[iv.Job], iv)
+	}
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
+		_, done := o.Completed[j.ID]
+		rejT, rej := o.Rejected[j.ID]
+		if done && rej {
+			return fmt.Errorf("sched: job %d both completed and rejected", j.ID)
+		}
+		if !done && !rej {
+			return fmt.Errorf("sched: job %d neither completed nor rejected", j.ID)
+		}
+		ivs := byJob[j.ID]
+		if len(ivs) > 1 && !mode.AllowPreemption {
+			return fmt.Errorf("sched: job %d executed in %d separate intervals (preempted)", j.ID, len(ivs))
+		}
+		var work, lastEnd float64
+		machine := -1
+		for _, iv := range ivs {
+			if iv.Start < j.Release-Eps {
+				return fmt.Errorf("sched: job %d started %v before release %v", j.ID, iv.Start, j.Release)
+			}
+			if machine == -1 {
+				machine = iv.Machine
+			} else if machine != iv.Machine {
+				return fmt.Errorf("sched: job %d migrated between machines %d and %d", j.ID, machine, iv.Machine)
+			}
+			work += iv.Work()
+			if iv.End > lastEnd {
+				lastEnd = iv.End
+			}
+		}
+		if done {
+			if len(ivs) == 0 {
+				return fmt.Errorf("sched: completed job %d has no execution", j.ID)
+			}
+			need := j.Proc[machine]
+			if math.Abs(work-need) > Eps*(1+need) {
+				return fmt.Errorf("sched: job %d got work %v on machine %d, needs %v", j.ID, work, machine, need)
+			}
+			if c := o.Completed[j.ID]; math.Abs(c-lastEnd) > Eps*(1+c) {
+				return fmt.Errorf("sched: job %d completion %v != last interval end %v", j.ID, c, lastEnd)
+			}
+			if mode.RequireDeadlines && o.Completed[j.ID] > j.Deadline+Eps*(1+j.Deadline) {
+				return fmt.Errorf("sched: job %d completed %v after deadline %v", j.ID, o.Completed[j.ID], j.Deadline)
+			}
+			if am, ok := o.Assigned[j.ID]; ok && am != machine {
+				return fmt.Errorf("sched: job %d assigned to %d but ran on %d", j.ID, am, machine)
+			}
+		} else { // rejected
+			if len(ivs) > 0 {
+				if lastEnd > rejT+Eps*(1+rejT) {
+					return fmt.Errorf("sched: rejected job %d executed past its rejection time", j.ID)
+				}
+				if work > j.Proc[machine]+Eps {
+					return fmt.Errorf("sched: rejected job %d over-processed", j.ID)
+				}
+			}
+			if rejT < j.Release-Eps {
+				return fmt.Errorf("sched: job %d rejected at %v before release %v", j.ID, rejT, j.Release)
+			}
+		}
+	}
+	for id := range byJob {
+		if ins.JobByID(id) == nil {
+			return fmt.Errorf("sched: interval references unknown job %d", id)
+		}
+	}
+	if !mode.AllowParallel {
+		perMachine := make([][]Interval, ins.Machines)
+		for _, iv := range o.Intervals {
+			if iv.Machine < 0 || iv.Machine >= ins.Machines {
+				return fmt.Errorf("sched: interval on unknown machine %d", iv.Machine)
+			}
+			perMachine[iv.Machine] = append(perMachine[iv.Machine], iv)
+		}
+		for i, ivs := range perMachine {
+			s := ivSorted(ivs)
+			for k := 1; k < len(s); k++ {
+				if s[k].Start < s[k-1].End-Eps*(1+s[k-1].End) {
+					return fmt.Errorf("sched: machine %d runs jobs %d and %d concurrently", i, s[k-1].Job, s[k].Job)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func ivSorted(ivs []Interval) []Interval {
+	out := append([]Interval(nil), ivs...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].Job < out[b].Job
+	})
+	return out
+}

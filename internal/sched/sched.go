@@ -1,0 +1,212 @@
+// Package sched defines the domain model shared by every scheduler in this
+// repository: jobs, instances, executed schedules (outcomes), the metrics the
+// paper optimizes (total flow time, weighted flow time, energy under speed
+// scaling) and validators that check the structural invariants of
+// non-preemptive schedules.
+//
+// Conventions:
+//   - Time is a float64 in arbitrary units; instants compare with a small
+//     tolerance (Eps).
+//   - Machines are indexed 0..M-1. Job.Proc[i] is the processing time
+//     (volume, for speed-scaling problems) of the job on machine i.
+//   - An Outcome records what a scheduler actually did. Metrics and
+//     validation are computed from the Outcome alone, so every algorithm is
+//     audited by the same code path.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the tolerance used for floating-point comparisons of times and
+// processed volumes throughout the package.
+const Eps = 1e-7
+
+// NoDeadline marks jobs without a deadline constraint.
+var NoDeadline = math.Inf(1)
+
+// Job is a single job of an online scheduling instance.
+type Job struct {
+	// ID identifies the job; unique within an instance.
+	ID int
+	// Release is the arrival time r_j. The job is unknown to online
+	// algorithms before this time.
+	Release float64
+	// Weight w_j; 1 for unweighted objectives.
+	Weight float64
+	// Deadline d_j; NoDeadline unless the instance is a deadline
+	// (energy-minimization) instance.
+	Deadline float64
+	// Proc[i] is the processing time p_ij of the job on machine i (its
+	// processing volume for speed-scaling problems).
+	Proc []float64
+}
+
+// Instance is a complete problem instance.
+type Instance struct {
+	// Machines is the number of unrelated machines.
+	Machines int
+	// Jobs holds the jobs sorted by non-decreasing release time.
+	Jobs []Job
+	// Alpha is the power exponent for energy objectives (P(s) = s^Alpha);
+	// zero for pure flow-time instances.
+	Alpha float64
+}
+
+// Validate checks structural well-formedness of the instance.
+func (ins *Instance) Validate() error {
+	if ins.Machines <= 0 {
+		return errors.New("sched: instance needs at least one machine")
+	}
+	seen := make(map[int]bool, len(ins.Jobs))
+	last := math.Inf(-1)
+	for k, j := range ins.Jobs {
+		if seen[j.ID] {
+			return fmt.Errorf("sched: duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = true
+		if len(j.Proc) != ins.Machines {
+			return fmt.Errorf("sched: job %d has %d processing times, want %d", j.ID, len(j.Proc), ins.Machines)
+		}
+		for i, p := range j.Proc {
+			if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+				return fmt.Errorf("sched: job %d has invalid p[%d]=%v", j.ID, i, p)
+			}
+		}
+		if j.Weight <= 0 {
+			return fmt.Errorf("sched: job %d has non-positive weight %v", j.ID, j.Weight)
+		}
+		if j.Release < 0 || math.IsNaN(j.Release) {
+			return fmt.Errorf("sched: job %d has invalid release %v", j.ID, j.Release)
+		}
+		if j.Release < last-Eps {
+			return fmt.Errorf("sched: job %d released at %v before predecessor at %v (jobs must be sorted)", j.ID, j.Release, last)
+		}
+		if j.Release > last {
+			last = j.Release
+		}
+		if j.Deadline <= j.Release && !math.IsInf(j.Deadline, 1) {
+			return fmt.Errorf("sched: job %d deadline %v not after release %v", j.ID, j.Deadline, j.Release)
+		}
+		_ = k
+	}
+	return nil
+}
+
+// TotalWeight returns the sum of all job weights.
+func (ins *Instance) TotalWeight() float64 {
+	var w float64
+	for _, j := range ins.Jobs {
+		w += j.Weight
+	}
+	return w
+}
+
+// JobByID returns the job with the given id, or nil.
+func (ins *Instance) JobByID(id int) *Job {
+	for k := range ins.Jobs {
+		if ins.Jobs[k].ID == id {
+			return &ins.Jobs[k]
+		}
+	}
+	return nil
+}
+
+// MinProc returns min_i Proc[i] for job j.
+func (j *Job) MinProc() float64 {
+	m := math.Inf(1)
+	for _, p := range j.Proc {
+		if p < m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Clone deep-copies the instance.
+func (ins *Instance) Clone() *Instance {
+	out := &Instance{Machines: ins.Machines, Alpha: ins.Alpha, Jobs: make([]Job, len(ins.Jobs))}
+	for k, j := range ins.Jobs {
+		nj := j
+		nj.Proc = append([]float64(nil), j.Proc...)
+		out.Jobs[k] = nj
+	}
+	return out
+}
+
+// SortJobs sorts jobs by (release, id), restoring the instance invariant
+// after generators mutate the job list.
+func (ins *Instance) SortJobs() {
+	sort.Slice(ins.Jobs, func(a, b int) bool {
+		ja, jb := ins.Jobs[a], ins.Jobs[b]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// Interval is one contiguous execution of (part of) a job on a machine at a
+// constant speed. Unit-speed schedulers use Speed == 1.
+type Interval struct {
+	Job     int
+	Machine int
+	Start   float64
+	End     float64
+	Speed   float64
+}
+
+// Work is the processing volume delivered by the interval.
+func (iv Interval) Work() float64 { return (iv.End - iv.Start) * iv.Speed }
+
+// Outcome is the audited record of a scheduler run.
+type Outcome struct {
+	// Intervals lists every execution the scheduler performed, including
+	// the partial execution of jobs interrupted by a rejection.
+	Intervals []Interval
+	// Completed maps job id -> completion time for served jobs.
+	Completed map[int]float64
+	// Rejected maps job id -> rejection time for rejected jobs.
+	Rejected map[int]float64
+	// Assigned maps job id -> machine the job was dispatched to.
+	Assigned map[int]int
+}
+
+// NewOutcome returns an empty outcome ready for recording.
+func NewOutcome() *Outcome {
+	return &Outcome{
+		Completed: make(map[int]float64),
+		Rejected:  make(map[int]float64),
+		Assigned:  make(map[int]int),
+	}
+}
+
+// FlowTime returns the flow time of job id: completion (or rejection, per the
+// paper's accounting) time minus release. It returns an error for jobs the
+// outcome knows nothing about.
+func (o *Outcome) FlowTime(j *Job) (float64, error) {
+	if c, ok := o.Completed[j.ID]; ok {
+		return c - j.Release, nil
+	}
+	if c, ok := o.Rejected[j.ID]; ok {
+		return c - j.Release, nil
+	}
+	return 0, fmt.Errorf("sched: job %d neither completed nor rejected", j.ID)
+}
+
+// RejectedCount returns the number of rejected jobs.
+func (o *Outcome) RejectedCount() int { return len(o.Rejected) }
+
+// RejectedWeight sums the weights of rejected jobs.
+func (o *Outcome) RejectedWeight(ins *Instance) float64 {
+	var w float64
+	for id := range o.Rejected {
+		if j := ins.JobByID(id); j != nil {
+			w += j.Weight
+		}
+	}
+	return w
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// FuzzReadInstance ensures the decoder never panics and never returns an
+// invalid instance on arbitrary input. The seed corpus covers the valid
+// shape, boundary values and assorted malformations; `go test` replays the
+// corpus, `go test -fuzz=FuzzReadInstance` explores further.
+func FuzzReadInstance(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, workload.Random(workload.DefaultConfig(5, 2, 1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"machines":1,"jobs":[{"id":0,"release":0,"proc":[1]}]}`)
+	f.Add(`{"machines":0,"jobs":[]}`)
+	f.Add(`{"machines":1,"jobs":[{"id":0,"release":-1,"proc":[1]}]}`)
+	f.Add(`{"machines":1,"jobs":[{"id":0,"release":0,"proc":[0]}]}`)
+	f.Add(`{"machines":1,"jobs":[{"id":0,"release":0,"deadline":-5,"proc":[1]}]}`)
+	f.Add(`{"machines":2,"jobs":[{"id":0,"release":0,"proc":[1]}]}`)
+	f.Add(`]]]`)
+	f.Add(``)
+	f.Add(`{"machines":1e309}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		ins, err := ReadInstance(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the model invariants.
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid instance: %v\ninput: %q", err, data)
+		}
+	})
+}
+
+// FuzzReadOutcome ensures outcome decoding never panics.
+func FuzzReadOutcome(f *testing.F) {
+	o := sched.NewOutcome()
+	o.Completed[0] = 1
+	o.Intervals = []sched.Interval{{Job: 0, Machine: 0, Start: 0, End: 1, Speed: 1}}
+	var buf bytes.Buffer
+	if err := WriteOutcome(&buf, o); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"intervals":[],"completed":{"x":1},"rejected":{},"assigned":{}}`)
+	f.Add(`{"intervals":[{"Job":0,"Machine":-3,"Start":5,"End":1,"Speed":-2}]}`)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		out, err := ReadOutcome(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if out.Completed == nil || out.Rejected == nil || out.Assigned == nil {
+			t.Fatalf("decoder returned nil maps on input %q", data)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/sched"
+)
+
+// Lemma1Instance builds the single-machine adversarial family from the proof
+// of Lemma 1. Any policy that must decide rejections immediately at arrival
+// suffers competitive ratio Ω(√Δ) on this family, where Δ = L² is the
+// max/min processing-time ratio.
+//
+// Construction (the t < L² branch of the proof, which is the branch a
+// work-conserving policy lands in): nBig = ⌈1/ε⌉ jobs of length L are
+// released at time 0. A work-conserving immediate-decision policy starts one
+// of them at time 0 and cannot revoke it; starting just after, ⌊L²⌋ jobs of
+// length 1/L arrive every 1/L time units and pile up behind the big job.
+func Lemma1Instance(l float64, eps float64) *sched.Instance {
+	nBig := int(math.Ceil(1 / eps))
+	nSmall := int(math.Floor(l * l))
+	ins := &sched.Instance{Machines: 1}
+	id := 0
+	for k := 0; k < nBig; k++ {
+		ins.Jobs = append(ins.Jobs, sched.Job{
+			ID: id, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{l},
+		})
+		id++
+	}
+	delta := 1 / (2 * l) // strictly after the big job has started
+	for k := 0; k < nSmall; k++ {
+		ins.Jobs = append(ins.Jobs, sched.Job{
+			ID: id, Release: delta + float64(k)/l, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{1 / l},
+		})
+		id++
+	}
+	ins.SortJobs()
+	return ins
+}
+
+// Lemma1Adversary constructs the adversary's own schedule for a Lemma 1
+// instance: small jobs run as they arrive (they saturate the machine at rate
+// 1), big jobs run back-to-back afterwards. Its cost upper-bounds OPT, so
+// ratios reported against it lower-bound the true competitive ratio.
+func Lemma1Adversary(ins *sched.Instance) *sched.Outcome {
+	out := sched.NewOutcome()
+	// Partition by size: in this family small jobs are strictly shorter.
+	var smalls, bigs []sched.Job
+	minP, maxP := math.Inf(1), 0.0
+	for _, j := range ins.Jobs {
+		if j.Proc[0] < minP {
+			minP = j.Proc[0]
+		}
+		if j.Proc[0] > maxP {
+			maxP = j.Proc[0]
+		}
+	}
+	for _, j := range ins.Jobs {
+		if j.Proc[0] <= minP*(1+sched.Eps) && maxP > minP*(1+sched.Eps) {
+			smalls = append(smalls, j)
+		} else {
+			bigs = append(bigs, j)
+		}
+	}
+	t := 0.0
+	for _, j := range smalls {
+		if j.Release > t {
+			t = j.Release
+		}
+		out.Intervals = append(out.Intervals, sched.Interval{Job: j.ID, Machine: 0, Start: t, End: t + j.Proc[0], Speed: 1})
+		t += j.Proc[0]
+		out.Completed[j.ID] = t
+		out.Assigned[j.ID] = 0
+	}
+	for _, j := range bigs {
+		if j.Release > t {
+			t = j.Release
+		}
+		out.Intervals = append(out.Intervals, sched.Interval{Job: j.ID, Machine: 0, Start: t, End: t + j.Proc[0], Speed: 1})
+		t += j.Proc[0]
+		out.Completed[j.ID] = t
+		out.Assigned[j.ID] = 0
+	}
+	return out
+}
+
+// Commitment is an online algorithm's irrevocable execution decision for a
+// job in the Lemma 2 duel: the job runs on one machine over [Start, End) at
+// constant speed Volume/(End−Start).
+type Commitment struct {
+	Start, End float64
+}
+
+// Lemma2Oracle is the algorithm under attack: given a job (release, deadline,
+// volume), it must immediately commit to an execution window.
+type Lemma2Oracle func(release, deadline, volume float64) Commitment
+
+// Lemma2Duel runs the adaptive single-machine adversary from the proof of
+// Lemma 2 against the oracle. It returns the released jobs and the
+// adversary's energy budget (the span of the first job: the adversary can
+// serve everything at speed ≤ 1 without overlap, so its energy is at most
+// d_1 − r_1 with P(s)=s^α, s=1).
+//
+// Protocol: job 1 spans [0, 3^(α+1)] with volume span/3. After the oracle
+// commits job j to [S_j, C_j), job j+1 is released with r = S_j+1, d = C_j,
+// volume (d−r)/3. The instance stops after ⌈α⌉ jobs or when a span drops
+// to ≤ 1.
+func Lemma2Duel(alpha float64, oracle Lemma2Oracle) (jobs []sched.Job, advEnergy float64) {
+	span := math.Pow(3, alpha+1)
+	r, d := 0.0, span
+	advEnergy = span
+	maxJobs := int(math.Ceil(alpha))
+	for k := 0; k < maxJobs; k++ {
+		vol := (d - r) / 3
+		j := sched.Job{ID: k, Release: r, Weight: 1, Deadline: d, Proc: []float64{vol}}
+		jobs = append(jobs, j)
+		c := oracle(r, d, vol)
+		r2, d2 := c.Start+1, c.End
+		if d2-r2 <= 1 {
+			break
+		}
+		r, d = r2, d2
+	}
+	return jobs, advEnergy
+}

@@ -1,0 +1,218 @@
+// Package workload generates problem instances for the experiment harness:
+// random online workloads (Poisson or bursty arrivals; uniform, Pareto or
+// bimodal sizes; identical, related or unrelated machines) and the two
+// adversarial families from the paper's lower-bound constructions (Lemma 1
+// and Lemma 2).
+//
+// All generators are deterministic given their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// SizeDist selects the processing-time distribution of RandomConfig.
+type SizeDist int
+
+const (
+	// SizeUniform draws base sizes uniformly from [MinSize, MaxSize].
+	SizeUniform SizeDist = iota
+	// SizePareto draws Pareto(shape=ParetoShape) sizes scaled to MinSize
+	// and capped at MaxSize (heavy-tailed workloads).
+	SizePareto
+	// SizeBimodal draws MinSize with probability 0.9 and MaxSize with
+	// probability 0.1 (mice and elephants).
+	SizeBimodal
+)
+
+// MachineModel selects how per-machine processing times relate.
+type MachineModel int
+
+const (
+	// MachinesUnrelated draws an independent slowdown factor per
+	// (job, machine) pair from [1, Spread].
+	MachinesUnrelated MachineModel = iota
+	// MachinesRelated gives machine i speed s_i in [1, Spread];
+	// p_ij = base_j / s_i.
+	MachinesRelated
+	// MachinesIdentical sets p_ij = base_j for all machines.
+	MachinesIdentical
+)
+
+// ArrivalModel selects the release-time process.
+type ArrivalModel int
+
+const (
+	// ArrivalsPoisson releases jobs as a Poisson process with aggregate
+	// rate Load·m/E[p] (so Load≈1 saturates the machines).
+	ArrivalsPoisson ArrivalModel = iota
+	// ArrivalsBursty releases jobs in bursts of BurstSize at Poisson
+	// burst epochs.
+	ArrivalsBursty
+)
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	N, M int
+	Seed int64
+
+	Sizes       SizeDist
+	MinSize     float64
+	MaxSize     float64
+	ParetoShape float64
+
+	Machines MachineModel
+	Spread   float64
+
+	Arrivals  ArrivalModel
+	Load      float64
+	BurstSize int
+
+	// Weighted draws job weights uniformly from [1, 10]; otherwise all
+	// weights are 1.
+	Weighted bool
+}
+
+// DefaultConfig returns a sane medium-load unrelated-machines configuration.
+func DefaultConfig(n, m int, seed int64) RandomConfig {
+	return RandomConfig{
+		N: n, M: m, Seed: seed,
+		Sizes: SizeUniform, MinSize: 1, MaxSize: 20, ParetoShape: 1.5,
+		Machines: MachinesUnrelated, Spread: 4,
+		Arrivals: ArrivalsPoisson, Load: 0.8, BurstSize: 10,
+	}
+}
+
+// Random generates an instance from the configuration.
+func Random(cfg RandomConfig) *sched.Instance {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		panic(fmt.Sprintf("workload: invalid N=%d M=%d", cfg.N, cfg.M))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := make([]float64, cfg.N)
+	for k := range base {
+		base[k] = drawSize(cfg, rng)
+	}
+	meanP := 0.0
+	for _, b := range base {
+		meanP += b
+	}
+	meanP /= float64(cfg.N)
+
+	speeds := make([]float64, cfg.M)
+	for i := range speeds {
+		speeds[i] = 1 + rng.Float64()*(cfg.Spread-1)
+	}
+
+	ins := &sched.Instance{Machines: cfg.M}
+	t := 0.0
+	rate := cfg.Load * float64(cfg.M) / meanP
+	if rate <= 0 {
+		rate = 1
+	}
+	var burstLeft int
+	for k := 0; k < cfg.N; k++ {
+		switch cfg.Arrivals {
+		case ArrivalsPoisson:
+			t += rng.ExpFloat64() / rate
+		case ArrivalsBursty:
+			if burstLeft == 0 {
+				t += rng.ExpFloat64() / rate * float64(cfg.BurstSize)
+				burstLeft = cfg.BurstSize
+			}
+			burstLeft--
+		}
+		j := sched.Job{
+			ID: k, Release: t, Weight: 1, Deadline: sched.NoDeadline,
+			Proc: make([]float64, cfg.M),
+		}
+		if cfg.Weighted {
+			j.Weight = 1 + rng.Float64()*9
+		}
+		for i := 0; i < cfg.M; i++ {
+			switch cfg.Machines {
+			case MachinesUnrelated:
+				j.Proc[i] = base[k] * (1 + rng.Float64()*(cfg.Spread-1))
+			case MachinesRelated:
+				j.Proc[i] = base[k] / speeds[i]
+			case MachinesIdentical:
+				j.Proc[i] = base[k]
+			}
+		}
+		ins.Jobs = append(ins.Jobs, j)
+	}
+	ins.SortJobs()
+	for k := range ins.Jobs {
+		ins.Jobs[k].ID = k // keep ids aligned with arrival order
+	}
+	return ins
+}
+
+func drawSize(cfg RandomConfig, rng *rand.Rand) float64 {
+	switch cfg.Sizes {
+	case SizePareto:
+		u := rng.Float64()
+		v := cfg.MinSize / math.Pow(1-u, 1/cfg.ParetoShape)
+		if v > cfg.MaxSize {
+			v = cfg.MaxSize
+		}
+		return v
+	case SizeBimodal:
+		if rng.Float64() < 0.9 {
+			return cfg.MinSize
+		}
+		return cfg.MaxSize
+	default:
+		return cfg.MinSize + rng.Float64()*(cfg.MaxSize-cfg.MinSize)
+	}
+}
+
+// DeadlineConfig parameterizes RandomDeadline (energy-minimization
+// workloads, integer slot times).
+type DeadlineConfig struct {
+	N, M    int
+	Seed    int64
+	Horizon int     // slots; releases drawn from [0, Horizon)
+	MinVol  float64 // processing volume bounds
+	MaxVol  float64
+	// Slack multiplies the minimal feasible window: d = r + ⌈Slack·vol⌉
+	// (clamped to the horizon). Slack≈1 is tight, large Slack is loose.
+	Slack float64
+	Alpha float64
+}
+
+// RandomDeadline generates a deadline (energy) instance with integer release
+// times and deadlines, suitable for internal/core/energymin.
+func RandomDeadline(cfg DeadlineConfig) *sched.Instance {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ins := &sched.Instance{Machines: cfg.M, Alpha: cfg.Alpha}
+	for k := 0; k < cfg.N; k++ {
+		vol := cfg.MinVol + rng.Float64()*(cfg.MaxVol-cfg.MinVol)
+		r := float64(rng.Intn(cfg.Horizon))
+		win := math.Ceil(cfg.Slack * vol)
+		if win < 1 {
+			win = 1
+		}
+		d := r + win
+		if d > float64(cfg.Horizon) {
+			d = float64(cfg.Horizon)
+			if d-r < 1 {
+				r = d - 1
+			}
+		}
+		j := sched.Job{ID: k, Release: r, Weight: 1, Deadline: d, Proc: make([]float64, cfg.M)}
+		for i := 0; i < cfg.M; i++ {
+			j.Proc[i] = vol * (1 + rng.Float64())
+		}
+		ins.Jobs = append(ins.Jobs, j)
+	}
+	ins.SortJobs()
+	for k := range ins.Jobs {
+		ins.Jobs[k].ID = k
+	}
+	return ins
+}

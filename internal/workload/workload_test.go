@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func TestRandomProducesValidInstances(t *testing.T) {
+	for _, sizes := range []SizeDist{SizeUniform, SizePareto, SizeBimodal} {
+		for _, mm := range []MachineModel{MachinesUnrelated, MachinesRelated, MachinesIdentical} {
+			for _, arr := range []ArrivalModel{ArrivalsPoisson, ArrivalsBursty} {
+				cfg := DefaultConfig(100, 3, 1)
+				cfg.Sizes = sizes
+				cfg.Machines = mm
+				cfg.Arrivals = arr
+				cfg.Weighted = true
+				ins := Random(cfg)
+				if err := ins.Validate(); err != nil {
+					t.Fatalf("sizes=%v machines=%v arrivals=%v: %v", sizes, mm, arr, err)
+				}
+				if len(ins.Jobs) != 100 || ins.Machines != 3 {
+					t.Fatalf("wrong dimensions")
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(DefaultConfig(50, 2, 42))
+	b := Random(DefaultConfig(50, 2, 42))
+	for k := range a.Jobs {
+		if a.Jobs[k].Release != b.Jobs[k].Release || a.Jobs[k].Proc[0] != b.Jobs[k].Proc[0] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	c := Random(DefaultConfig(50, 2, 43))
+	same := true
+	for k := range a.Jobs {
+		if a.Jobs[k].Release != c.Jobs[k].Release {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical releases")
+	}
+}
+
+func TestSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(60, 2, seed)
+		cfg.Sizes = SizePareto
+		cfg.Machines = MachinesIdentical
+		ins := Random(cfg)
+		for _, j := range ins.Jobs {
+			if j.Proc[0] < cfg.MinSize-1e-9 || j.Proc[0] > cfg.MaxSize+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelatedMachinesConsistent(t *testing.T) {
+	cfg := DefaultConfig(40, 4, 7)
+	cfg.Machines = MachinesRelated
+	ins := Random(cfg)
+	// p_ij/p_i'j must be the same ratio for all jobs under the related model.
+	r0 := ins.Jobs[0].Proc[1] / ins.Jobs[0].Proc[0]
+	for _, j := range ins.Jobs {
+		if math.Abs(j.Proc[1]/j.Proc[0]-r0) > 1e-9 {
+			t.Fatal("related machines: speed ratios differ across jobs")
+		}
+	}
+}
+
+func TestLemma1InstanceShape(t *testing.T) {
+	l := 10.0
+	ins := Lemma1Instance(l, 0.25)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var bigs, smalls int
+	for _, j := range ins.Jobs {
+		switch {
+		case j.Proc[0] == l:
+			bigs++
+			if j.Release != 0 {
+				t.Fatal("big jobs must be released at 0")
+			}
+		case j.Proc[0] == 1/l:
+			smalls++
+			if j.Release <= 0 {
+				t.Fatal("small jobs must arrive strictly after 0")
+			}
+		default:
+			t.Fatalf("unexpected size %v", j.Proc[0])
+		}
+	}
+	if bigs != 4 {
+		t.Fatalf("bigs = %d, want ⌈1/ε⌉ = 4", bigs)
+	}
+	if smalls != int(l*l) {
+		t.Fatalf("smalls = %d, want ⌊L²⌋ = %d", smalls, int(l*l))
+	}
+	// Δ = max/min = L².
+	if delta := l / (1 / l); math.Abs(delta-l*l) > 1e-9 {
+		t.Fatalf("Δ = %v, want %v", delta, l*l)
+	}
+}
+
+func TestLemma1AdversaryScheduleValid(t *testing.T) {
+	ins := Lemma1Instance(8, 0.5)
+	out := Lemma1Adversary(ins)
+	if err := sched.ValidateOutcome(ins, out, sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
+		t.Fatalf("adversary schedule invalid: %v", err)
+	}
+	m, err := sched.ComputeMetrics(ins, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary's flow is O(L²)-ish; sanity-check it is far below the
+	// trivially bad L³ regime.
+	l := 8.0
+	if m.TotalFlow > 3*l*l*2 {
+		t.Fatalf("adversary flow %v unexpectedly large", m.TotalFlow)
+	}
+}
+
+func TestLemma2DuelProtocol(t *testing.T) {
+	alpha := 4.0
+	var got []sched.Job
+	// Oracle that always commits to the full window (min constant speed).
+	jobs, adv := Lemma2Duel(alpha, func(r, d, v float64) Commitment {
+		return Commitment{Start: r, End: d}
+	})
+	got = jobs
+	if adv != math.Pow(3, alpha+1) {
+		t.Fatalf("adversary budget %v, want 3^(α+1)", adv)
+	}
+	if len(got) != int(alpha) {
+		t.Fatalf("duel released %d jobs, want %d", len(got), int(alpha))
+	}
+	for k, j := range got {
+		if j.Proc[0] != (j.Deadline-j.Release)/3 {
+			t.Fatalf("job %d volume %v != span/3", k, j.Proc[0])
+		}
+		if k > 0 {
+			prev := got[k-1]
+			if j.Release != prev.Release+1 {
+				t.Fatalf("job %d release %v, want S_{k-1}+1 = %v", k, j.Release, prev.Release+1)
+			}
+			if j.Deadline != prev.Deadline {
+				t.Fatalf("job %d deadline %v, want C_{k-1} = %v (full-window oracle)", k, j.Deadline, prev.Deadline)
+			}
+		}
+	}
+}
+
+func TestLemma2DuelStopsOnShortSpan(t *testing.T) {
+	// An oracle that compresses to a unit window ends the duel immediately.
+	jobs, _ := Lemma2Duel(6, func(r, d, v float64) Commitment {
+		return Commitment{Start: r, End: r + 1.5}
+	})
+	// Job 1 is committed to [r, r+1.5); the follow-up span (r+1, r+1.5]
+	// has length 0.5 ≤ 1, so no further job is released.
+	if len(jobs) != 1 {
+		t.Fatalf("duel released %d jobs, want 1", len(jobs))
+	}
+}
+
+func TestRandomDeadlineValid(t *testing.T) {
+	cfg := DeadlineConfig{N: 60, M: 3, Seed: 5, Horizon: 100, MinVol: 1, MaxVol: 8, Slack: 3, Alpha: 2}
+	ins := RandomDeadline(cfg)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range ins.Jobs {
+		if j.Release != math.Trunc(j.Release) || j.Deadline != math.Trunc(j.Deadline) {
+			t.Fatal("deadline instances must have integer times")
+		}
+		if j.Deadline > float64(cfg.Horizon) {
+			t.Fatal("deadline past horizon")
+		}
+		if j.Deadline-j.Release < 1 {
+			t.Fatal("window shorter than one slot")
+		}
+	}
+}
