@@ -83,6 +83,7 @@ func BenchmarkFlowtimeEndToEnd(b *testing.B) {
 	cfg := workload.DefaultConfig(5000, 8, 3)
 	cfg.Load = 1.1
 	ins := workload.Random(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flowtime.Run(ins, flowtime.Options{Epsilon: 0.2}); err != nil {
@@ -95,6 +96,7 @@ func BenchmarkFlowtimeEndToEndDualTracking(b *testing.B) {
 	cfg := workload.DefaultConfig(5000, 8, 3)
 	cfg.Load = 1.1
 	ins := workload.Random(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flowtime.Run(ins, flowtime.Options{Epsilon: 0.2, TrackDual: true}); err != nil {
@@ -109,6 +111,7 @@ func BenchmarkSpeedscaleEndToEnd(b *testing.B) {
 	cfg.Load = 1.1
 	ins := workload.Random(cfg)
 	ins.Alpha = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := speedscale.Run(ins, speedscale.Options{Epsilon: 0.3}); err != nil {
@@ -121,6 +124,7 @@ func BenchmarkEnergyminEndToEnd(b *testing.B) {
 	ins := workload.RandomDeadline(workload.DeadlineConfig{
 		N: 200, M: 2, Seed: 3, Horizon: 300, MinVol: 1, MaxVol: 8, Slack: 3, Alpha: 2,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := energymin.Run(ins, energymin.Options{LengthGridRatio: 1.2}); err != nil {
@@ -136,6 +140,7 @@ func BenchmarkMetricsAndValidation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{RequireUnitSpeed: true}); err != nil {

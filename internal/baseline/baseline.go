@@ -167,17 +167,19 @@ func Run(ins *sched.Instance, cfg Config) (*sched.Outcome, error) {
 	if cfg.Speed <= 0 {
 		return nil, fmt.Errorf("baseline: speed must be positive, got %v", cfg.Speed)
 	}
-	out := sched.NewOutcome()
-	jobs := make(map[int]*sched.Job, len(ins.Jobs))
+	out := sched.NewOutcomeSized(len(ins.Jobs))
+	// Events carry compact job indices (always < n, so they fit the int32
+	// payload regardless of the instance's ID space); treap keys and the
+	// outcome keep real job IDs.
+	ix := ins.Index()
 	machines := make([]*bmachine, ins.Machines)
 	for i := range machines {
 		machines[i] = &bmachine{pending: ostree.New(uint64(0xabcd01) + uint64(i)), running: -1}
 	}
 	var q eventq.Queue
+	q.Grow(2 * len(ins.Jobs))
 	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		jobs[j.ID] = j
-		q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+		q.Push(eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1})
 	}
 	key := func(j *sched.Job, i int) ostree.Key {
 		switch cfg.Order {
@@ -196,7 +198,7 @@ func Run(ins *sched.Instance, cfg Config) (*sched.Outcome, error) {
 		if !ok {
 			return
 		}
-		j := jobs[k.ID]
+		j := ix.JobByID(k.ID)
 		m.queueWork -= j.Proc[i]
 		speed := cfg.Speed
 		if cfg.JobSpeed != nil {
@@ -209,7 +211,7 @@ func Run(ins *sched.Instance, cfg Config) (*sched.Outcome, error) {
 		m.victims = 0
 		seq++
 		m.runSeq = seq
-		q.Push(eventq.Event{Time: m.runEnd, Kind: eventq.KindCompletion, Job: k.ID, Machine: i, Version: seq})
+		q.Push(eventq.Event{Time: m.runEnd, Kind: eventq.KindCompletion, Job: int32(ix.Of(k.ID)), Machine: int32(i), Version: int32(seq)})
 	}
 
 	var seen, rejected int
@@ -218,7 +220,7 @@ func Run(ins *sched.Instance, cfg Config) (*sched.Outcome, error) {
 		e := q.Pop()
 		switch e.Kind {
 		case eventq.KindArrival:
-			j := jobs[e.Job]
+			j := ix.Job(int(e.Job))
 			if cfg.ImmediateReject != nil {
 				mean := 0.0
 				if seen > 0 {
@@ -273,15 +275,16 @@ func Run(ins *sched.Instance, cfg Config) (*sched.Outcome, error) {
 			}
 		case eventq.KindCompletion:
 			m := machines[e.Machine]
-			if m.running != e.Job || m.runSeq != e.Version {
+			id := ix.ID(int(e.Job))
+			if m.running != id || m.runSeq != int(e.Version) {
 				continue
 			}
 			out.Intervals = append(out.Intervals, sched.Interval{
-				Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: m.runSpeed,
+				Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: m.runSpeed,
 			})
-			out.Completed[e.Job] = e.Time
+			out.Completed[id] = e.Time
 			m.running = -1
-			startNext(e.Machine, e.Time)
+			startNext(int(e.Machine), e.Time)
 		}
 	}
 	return out, nil

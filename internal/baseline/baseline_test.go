@@ -218,3 +218,34 @@ func TestBaselinesAccountEveryJob(t *testing.T) {
 		}
 	}
 }
+
+func TestHugeJobIDsSurviveEventPayload(t *testing.T) {
+	// Job IDs are arbitrary unique ints; events internally carry compact
+	// indices precisely so IDs beyond int32 cannot truncate. Regression
+	// test for the int32 event payload.
+	jobs := []sched.Job{
+		{ID: 3_000_000_001, Release: 0, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{2, 3}},
+		{ID: 5, Release: 0.5, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{4, 1}},
+		{ID: 9_999_999_999, Release: 1, Weight: 1, Deadline: sched.NoDeadline, Proc: []float64{1, 5}},
+	}
+	ins := &sched.Instance{Machines: 2, Jobs: jobs}
+	out, err := Run(ins, Config{Speed: 1, Dispatch: DispatchBacklog, Order: OrderSPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Completed) != len(jobs) {
+		t.Fatalf("completed %d of %d jobs: %v", len(out.Completed), len(jobs), out.Completed)
+	}
+	for _, j := range jobs {
+		if _, ok := out.Completed[j.ID]; !ok {
+			t.Fatalf("job %d missing from outcome", j.ID)
+		}
+	}
+	pre, err := PreemptiveSRPT(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Completed) != len(jobs) {
+		t.Fatalf("SRPT completed %d of %d jobs", len(pre.Completed), len(jobs))
+	}
+}

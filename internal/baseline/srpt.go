@@ -21,8 +21,10 @@ func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
-	out := sched.NewOutcome()
-	jobs := make(map[int]*sched.Job, len(ins.Jobs))
+	out := sched.NewOutcomeSized(len(ins.Jobs))
+	// Events carry compact job indices (always < n, fitting the int32
+	// payload for any ID space); treap keys and the outcome use real IDs.
+	ix := ins.Index()
 
 	type pmachine struct {
 		waiting *ostree.Tree // Key.P = frozen remaining time
@@ -37,10 +39,9 @@ func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
 		machines[i] = &pmachine{waiting: ostree.New(uint64(0x5e11) + uint64(i)), running: -1}
 	}
 	var q eventq.Queue
+	q.Grow(2 * len(ins.Jobs))
 	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		jobs[j.ID] = j
-		q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+		q.Push(eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1})
 	}
 	seq := 0
 	start := func(i int, t float64, id int, rem float64) {
@@ -50,7 +51,7 @@ func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
 		m.runRem = rem
 		seq++
 		m.runSeq = seq
-		q.Push(eventq.Event{Time: t + rem, Kind: eventq.KindCompletion, Job: id, Machine: i, Version: seq})
+		q.Push(eventq.Event{Time: t + rem, Kind: eventq.KindCompletion, Job: int32(ix.Of(id)), Machine: int32(i), Version: int32(seq)})
 	}
 	startNext := func(i int, t float64) {
 		m := machines[i]
@@ -62,7 +63,7 @@ func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
 		e := q.Pop()
 		switch e.Kind {
 		case eventq.KindArrival:
-			j := jobs[e.Job]
+			j := ix.Job(int(e.Job))
 			best, bestCost := 0, math.Inf(1)
 			for i := 0; i < ins.Machines; i++ {
 				m := machines[i]
@@ -89,22 +90,23 @@ func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
 						Job: m.running, Machine: best, Start: m.runStart, End: e.Time, Speed: 1,
 					})
 				}
-				m.waiting.Insert(ostree.Key{P: curRem, Release: jobs[m.running].Release, ID: m.running})
+				m.waiting.Insert(ostree.Key{P: curRem, Release: ix.JobByID(m.running).Release, ID: m.running})
 				start(best, e.Time, j.ID, p)
 			} else {
 				m.waiting.Insert(ostree.Key{P: p, Release: j.Release, ID: j.ID})
 			}
 		case eventq.KindCompletion:
 			m := machines[e.Machine]
-			if m.running != e.Job || m.runSeq != e.Version {
+			id := ix.ID(int(e.Job))
+			if m.running != id || m.runSeq != int(e.Version) {
 				continue // preempted; stale completion
 			}
 			out.Intervals = append(out.Intervals, sched.Interval{
-				Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: 1,
+				Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
 			})
-			out.Completed[e.Job] = e.Time
+			out.Completed[id] = e.Time
 			m.running = -1
-			startNext(e.Machine, e.Time)
+			startNext(int(e.Machine), e.Time)
 		}
 	}
 	return out, nil

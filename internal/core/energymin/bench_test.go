@@ -10,6 +10,7 @@ func benchRun(b *testing.B, n, horizon int, grid float64) {
 	ins := workload.RandomDeadline(workload.DeadlineConfig{
 		N: n, M: 2, Seed: 3, Horizon: horizon, MinVol: 1, MaxVol: 8, Slack: 3, Alpha: 2,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(ins, Options{LengthGridRatio: grid}); err != nil {
@@ -36,6 +37,7 @@ func BenchmarkPlaceSingle(b *testing.B) {
 		}
 	}
 	j := &ins.Jobs[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Measure the search cost on a loaded profile (commitments pile

@@ -63,7 +63,16 @@ type Scheduler struct {
 	u      [][]float64 // per machine, per slot: summed speed
 	out    *sched.Outcome
 	energy float64
-	placed map[int]Placement
+	// placed records commitments in placement order; the greedy never
+	// revisits a decision, so an append-only log replaces the former
+	// map[int]Placement and keeps Place allocation-free in steady state.
+	placed []jobPlacement
+}
+
+// jobPlacement pairs a job id with its committed strategy.
+type jobPlacement struct {
+	id int
+	p  Placement
 }
 
 // New returns an empty scheduler.
@@ -77,7 +86,7 @@ func New(opt Options) (*Scheduler, error) {
 	if opt.Horizon < 1 {
 		return nil, fmt.Errorf("energymin: need a positive horizon, got %d", opt.Horizon)
 	}
-	s := &Scheduler{opt: opt, out: sched.NewOutcome(), placed: make(map[int]Placement)}
+	s := &Scheduler{opt: opt, out: sched.NewOutcome()}
 	s.u = make([][]float64, opt.Machines)
 	for i := range s.u {
 		s.u[i] = make([]float64, opt.Horizon)
@@ -181,7 +190,7 @@ func (s *Scheduler) Place(j *sched.Job) (Placement, error) {
 		s.u[best.Machine][t] += best.Speed
 	}
 	s.energy += best.Marginal
-	s.placed[j.ID] = best
+	s.placed = append(s.placed, jobPlacement{id: j.ID, p: best})
 	s.out.Assigned[j.ID] = best.Machine
 	s.out.Completed[j.ID] = float64(best.Start + best.Length)
 	s.out.Intervals = append(s.out.Intervals, sched.Interval{
@@ -202,8 +211,8 @@ func (s *Scheduler) Outcome() *sched.Outcome { return s.out }
 // Placements returns the per-job commitments.
 func (s *Scheduler) Placements() map[int]Placement {
 	out := make(map[int]Placement, len(s.placed))
-	for k, v := range s.placed {
-		out[k] = v
+	for _, e := range s.placed {
+		out[e.id] = e.p
 	}
 	return out
 }

@@ -10,6 +10,7 @@ func benchRun(b *testing.B, n, m int, eps float64, dual bool) {
 	cfg := workload.DefaultConfig(n, m, 3)
 	cfg.Load = 1.1
 	ins := workload.Random(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(ins, Options{Epsilon: eps, TrackDual: dual}); err != nil {
@@ -33,6 +34,7 @@ func BenchmarkDispatchPath(b *testing.B) {
 	cfg := workload.DefaultConfig(5000, 8, 5)
 	cfg.Load = 50 // everything lands at once: pure dispatch cost
 	ins := workload.Random(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(ins, Options{Epsilon: 0.2}); err != nil {

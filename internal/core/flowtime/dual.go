@@ -49,16 +49,23 @@ func (o OccupancyTrace) At(t float64) int {
 }
 
 func (s *state) buildDualReport() *DualReport {
+	n := s.idx.Len()
 	r := &DualReport{
 		Epsilon: s.opt.Epsilon,
-		Lambda:  s.lambda,
-		CTilde:  s.ctilde,
+		Lambda:  make(map[int]float64, n),
+		CTilde:  make(map[int]float64, n),
+	}
+	// The run keeps λ_j and C̃_j in dense slices; the report exposes them by
+	// job id.
+	for k := 0; k < n; k++ {
+		id := s.idx.ID(k)
+		r.Lambda[id] = s.lambda[k]
+		r.CTilde[id] = s.ctilde[k]
+		r.LambdaSum += s.lambda[k]
 	}
 	eps := s.opt.Epsilon
-	for _, l := range s.lambda {
-		r.LambdaSum += l
-	}
-	for _, m := range s.mach {
+	for i := range s.mach {
+		m := &s.mach[i]
 		r.BetaIntegral += eps / ((1 + eps) * (1 + eps)) * m.occInt
 		r.Machines = append(r.Machines, OccupancyTrace{Times: m.bpTimes, Occ: m.bpValues})
 	}

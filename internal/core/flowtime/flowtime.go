@@ -21,6 +21,12 @@
 // the definitive-finish times C̃_j, and the step functions behind
 // β_i(t) = ε/(1+ε)²·(|U_i(t)|+|V_i(t)|) — so tests can verify Lemma 4
 // (dual feasibility) and the end-to-end competitive bound numerically.
+//
+// Hot-path layout: per-job state lives in dense slices indexed by the
+// compact sched.Index, events carry compact indices, and the machine-
+// selection argmin is sharded across the internal/dispatch worker pool for
+// wide instances (Options.ParallelDispatch), with outputs bit-identical to
+// the sequential scan.
 package flowtime
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dispatch"
 	"repro/internal/eventq"
 	"repro/internal/ostree"
 	"repro/internal/sched"
@@ -46,6 +53,11 @@ type Options struct {
 	// TrackDual enables recording of λ_j, C̃_j and the β_i(t) step
 	// functions (small constant overhead per event).
 	TrackDual bool
+	// ParallelDispatch sets the number of workers sharding the arrival-time
+	// argmin_i λ_ij: 0 selects automatically (sequential below
+	// dispatch.DefaultThreshold machines), 1 forces sequential. The choice
+	// never changes the output (see internal/dispatch).
+	ParallelDispatch int
 }
 
 func (o Options) validate() error {
@@ -82,7 +94,7 @@ type Result struct {
 type machine struct {
 	pending *ostree.Tree // dispatched, not yet started (U_i \ {running})
 
-	running    int     // job id, -1 when idle
+	running    int     // compact job index, -1 when idle
 	runStart   float64 // start time of the running job
 	runProc    float64 // p_ij of the running job on this machine
 	runSeq     int     // version guard for completion events
@@ -104,16 +116,15 @@ type machine struct {
 	bpValues []int
 }
 
-func (m *machine) advance(t float64, track bool) {
+func (m *machine) advance(t float64) {
 	if t > m.occLast {
 		m.occInt += float64(m.occ) * (t - m.occLast)
 		m.occLast = t
 	}
-	_ = track
 }
 
 func (m *machine) occChange(t float64, delta int, track bool) {
-	m.advance(t, track)
+	m.advance(t)
 	m.occ += delta
 	if track {
 		m.bpTimes = append(m.bpTimes, t)
@@ -127,15 +138,25 @@ type state struct {
 	out  *sched.Outcome
 	res  *Result
 	q    eventq.Queue
-	mach []*machine
-	jobs map[int]*sched.Job
-	// snap holds each dispatched job's snapshot of its machine's
-	// remnantAcc; see machine.remnantAcc.
-	snap   map[int]float64
-	ctilde map[int]float64
-	lambda map[int]float64
+	mach []machine
+	idx  *sched.Index
+	// Dense per-job state, indexed by compact job index. snap holds each
+	// dispatched job's snapshot of its machine's remnantAcc (see
+	// machine.remnantAcc); ctilde the definitive-finish times; lambda the
+	// dual λ_j assignments.
+	snap   []float64
+	ctilde []float64
+	lambda []float64
+	pool   *dispatch.Pool
+	curJob *sched.Job        // job under dispatch, read by the argmin eval
+	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
 	seq    int
 	r1, r2 int
+	// track mirrors opt.TrackDual: when false, the λ/C̃/occupancy dual
+	// bookkeeping — including the per-job C̃ exit events, a third of all
+	// heap traffic — is skipped entirely. The bookkeeping never influences
+	// a scheduling decision, so outcomes are identical either way.
+	track bool
 }
 
 // Run executes the algorithm on the instance and returns the audited result.
@@ -146,32 +167,48 @@ func Run(ins *sched.Instance, opt Options) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
+	n := len(ins.Jobs)
 	s := &state{
-		ins:    ins,
-		opt:    opt,
-		out:    sched.NewOutcome(),
-		jobs:   make(map[int]*sched.Job, len(ins.Jobs)),
-		snap:   make(map[int]float64),
-		ctilde: make(map[int]float64),
-		lambda: make(map[int]float64),
-		r1:     opt.Rule1Threshold(),
-		r2:     opt.Rule2Threshold(),
+		ins:   ins,
+		opt:   opt,
+		out:   sched.NewOutcomeSized(n),
+		idx:   ins.Index(),
+		r1:    opt.Rule1Threshold(),
+		r2:    opt.Rule2Threshold(),
+		track: opt.TrackDual,
+	}
+	if s.track {
+		s.snap = make([]float64, n)
+		s.ctilde = make([]float64, n)
+		s.lambda = make([]float64, n)
 	}
 	s.res = &Result{Outcome: s.out}
-	s.mach = make([]*machine, ins.Machines)
+	s.mach = make([]machine, ins.Machines)
 	for i := range s.mach {
-		s.mach[i] = &machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37), running: -1}
+		s.mach[i] = machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37), running: -1}
 	}
+	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
+	defer s.pool.Close()
+	s.evalFn = s.evalCur
+
+	arrivals := make([]eventq.Event, n)
 	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		s.jobs[j.ID] = j
-		s.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
+	}
+	s.q.Init(arrivals)
+	// Completions reuse the capacity freed by popped arrivals; only the dual
+	// bookkeeping events (one extra per job) and per-machine completions can
+	// outgrow it.
+	if s.track {
+		s.q.Grow(n)
+	} else {
+		s.q.Grow(ins.Machines)
 	}
 	for s.q.Len() > 0 {
 		e := s.q.Pop()
 		switch e.Kind {
 		case eventq.KindArrival:
-			s.handleArrival(e.Time, s.jobs[e.Job])
+			s.handleArrival(e.Time, int(e.Job))
 		case eventq.KindCompletion:
 			s.handleCompletion(e)
 		case eventq.KindBookkeeping:
@@ -190,7 +227,8 @@ func Run(ins *sched.Instance, opt Options) (*Result, error) {
 var errInternal = errors.New("flowtime: internal invariant violated")
 
 func (s *state) sanity() error {
-	for i, m := range s.mach {
+	for i := range s.mach {
+		m := &s.mach[i]
 		if m.occ != 0 {
 			return fmt.Errorf("%w: machine %d dual occupancy %d at end of run", errInternal, i, m.occ)
 		}
@@ -208,29 +246,34 @@ func (s *state) key(j *sched.Job, i int) ostree.Key {
 	return ostree.Key{P: j.Proc[i], Release: j.Release, ID: j.ID}
 }
 
-// lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i.
+// lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i. It
+// only reads per-machine state, so the dispatch pool may call it
+// concurrently for distinct machines.
 func (s *state) lambdaFor(j *sched.Job, i int) float64 {
 	p := j.Proc[i]
-	before, sumBefore, after := s.mach[i].pending.RankStats(s.key(j, i))
-	_ = before
+	_, sumBefore, after := s.mach[i].pending.RankStats(s.key(j, i))
 	return p/s.opt.Epsilon + (sumBefore + p) + float64(after)*p
 }
 
-func (s *state) handleArrival(t float64, j *sched.Job) {
+// evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
+// stashed in curJob; bound once per run as evalFn, since evaluating a
+// method value allocates.
+func (s *state) evalCur(i int) float64 { return s.lambdaFor(s.curJob, i) }
+
+func (s *state) handleArrival(t float64, jk int) {
+	j := s.idx.Job(jk)
 	// Dispatch: argmin λ_ij, ties to the lowest machine index.
-	best, bestLambda := 0, math.Inf(1)
-	for i := 0; i < s.ins.Machines; i++ {
-		if l := s.lambdaFor(j, i); l < bestLambda {
-			best, bestLambda = i, l
-		}
-	}
-	s.lambda[j.ID] = s.opt.Epsilon / (1 + s.opt.Epsilon) * bestLambda
-	m := s.mach[best]
+	s.curJob = j
+	best, bestLambda := s.pool.ArgMin(s.evalFn)
+	m := &s.mach[best]
 	s.out.Assigned[j.ID] = best
 	s.res.Dispatches++
-	m.occChange(t, +1, s.opt.TrackDual) // j enters U_best
+	if s.track {
+		s.lambda[jk] = s.opt.Epsilon / (1 + s.opt.Epsilon) * bestLambda
+		m.occChange(t, +1, true) // j enters U_best
+		s.snap[jk] = m.remnantAcc
+	}
 	m.pending.Insert(s.key(j, best))
-	s.snap[j.ID] = m.remnantAcc
 	m.counter++
 
 	// Rejection Rule 1: count the dispatch against the running job.
@@ -254,7 +297,7 @@ func (s *state) handleArrival(t float64, j *sched.Job) {
 // job of machine i, distribute its remnant q to the C̃ accumulators of every
 // job currently in U_i, and restart the machine.
 func (s *state) rejectRunning(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	k := m.running
 	elapsed := t - m.runStart
 	q := m.runProc - elapsed
@@ -263,15 +306,17 @@ func (s *state) rejectRunning(i int, t float64) {
 	}
 	if elapsed > sched.Eps {
 		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: k, Machine: i, Start: m.runStart, End: t, Speed: 1,
+			Job: s.idx.ID(k), Machine: i, Start: m.runStart, End: t, Speed: 1,
 		})
 	}
-	s.out.Rejected[k] = t
+	s.out.Rejected[s.idx.ID(k)] = t
 	s.res.Rule1Rejections++
-	// D_x gains k for every x ∈ U_i(t), including k itself: bump the
-	// machine accumulator before finishing k so k's own C̃ includes q.
-	m.remnantAcc += q
-	s.finish(i, k, t, 0) // k leaves U_i for V_i until C̃_k
+	if s.track {
+		// D_x gains k for every x ∈ U_i(t), including k itself: bump the
+		// machine accumulator before finishing k so k's own C̃ includes q.
+		m.remnantAcc += q
+		s.finish(i, k, t, 0) // k leaves U_i for V_i until C̃_k
+	}
 	m.running = -1
 	m.runVictims = 0
 	s.startNext(i, t)
@@ -281,67 +326,77 @@ func (s *state) rejectRunning(i int, t float64) {
 // job trigger): reject the pending job of machine i with the largest
 // processing time, if any.
 func (s *state) rejectLargestPending(i int, t float64, trigger *sched.Job) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	key, ok := m.pending.DeleteMax()
 	if !ok {
 		return // all recent dispatches started immediately; nothing queued
 	}
 	s.out.Rejected[key.ID] = t
 	s.res.Rule2Rejections++
+	if !s.track {
+		return
+	}
 	// Rule 2 term of C̃: the wait the rejected job is spared — the running
 	// remnant, the processing of everything else pending (except the
 	// triggering arrival), and its own processing time.
 	var term float64
+	runningID := -1
 	if m.running != -1 {
 		term += m.runProc - (t - m.runStart)
+		runningID = s.idx.ID(m.running)
 	}
 	others := m.pending.SumP()
 	// The triggering arrival was dispatched here; it is still pending
 	// unless it was started immediately (possible after a Rule 1
 	// interruption) or is the job just rejected.
-	if key.ID != trigger.ID && m.running != trigger.ID {
+	if key.ID != trigger.ID && runningID != trigger.ID {
 		others -= trigger.Proc[i]
 	}
 	term += others + key.P
-	s.finish(i, key.ID, t, term)
+	s.finish(i, s.idx.Of(key.ID), t, term)
 }
 
-// finish moves job id from U_i to V_i at time t and schedules its exit from
-// V_i at the definitive-finish time C̃ = t + accumulated Rule 1 remnants +
-// the Rule 2 term (zero except for Rule-2-rejected jobs).
-func (s *state) finish(i, id int, t, rule2Term float64) {
-	ct := t + (s.mach[i].remnantAcc - s.snap[id]) + rule2Term
-	s.ctilde[id] = ct
-	s.q.Push(eventq.Event{Time: ct, Kind: eventq.KindBookkeeping, Job: id, Machine: i})
+// finish moves the job with compact index jk from U_i to V_i at time t and
+// schedules its exit from V_i at the definitive-finish time C̃ = t +
+// accumulated Rule 1 remnants + the Rule 2 term (zero except for
+// Rule-2-rejected jobs).
+func (s *state) finish(i, jk int, t, rule2Term float64) {
+	ct := t + (s.mach[i].remnantAcc - s.snap[jk]) + rule2Term
+	s.ctilde[jk] = ct
+	s.q.Push(eventq.Event{Time: ct, Kind: eventq.KindBookkeeping, Job: int32(jk), Machine: int32(i)})
 }
 
 // startNext starts the SPT-first pending job on the idle machine i.
 func (s *state) startNext(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	key, ok := m.pending.DeleteMin()
 	if !ok {
 		return
 	}
-	m.running = key.ID
+	jk := s.idx.Of(key.ID)
+	m.running = jk
 	m.runStart = t
 	m.runProc = key.P
 	m.runVictims = 0
 	s.seq++
 	m.runSeq = s.seq
-	s.q.Push(eventq.Event{Time: t + key.P, Kind: eventq.KindCompletion, Job: key.ID, Machine: i, Version: s.seq})
+	s.q.Push(eventq.Event{Time: t + key.P, Kind: eventq.KindCompletion, Job: int32(jk), Machine: int32(i), Version: int32(s.seq)})
 }
 
 func (s *state) handleCompletion(e eventq.Event) {
-	m := s.mach[e.Machine]
-	if m.running != e.Job || m.runSeq != e.Version {
+	m := &s.mach[e.Machine]
+	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
 		return // stale: the execution was interrupted by Rule 1
 	}
+	id := s.idx.ID(int(e.Job))
 	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: 1,
+		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
 	})
-	s.out.Completed[e.Job] = e.Time
-	s.finish(e.Machine, e.Job, e.Time, 0)
+	s.out.Completed[id] = e.Time
+	if s.track {
+		s.finish(int(e.Machine), int(e.Job), e.Time, 0)
+	}
 	m.running = -1
 	m.runVictims = 0
-	s.startNext(e.Machine, e.Time)
+	s.startNext(int(e.Machine), e.Time)
 }

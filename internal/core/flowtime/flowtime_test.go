@@ -334,3 +334,13 @@ func TestSimultaneousArrivals(t *testing.T) {
 		t.Fatalf("dispatch did not balance: %v", c)
 	}
 }
+
+func TestZeroJobInstance(t *testing.T) {
+	res, err := Run(&sched.Instance{Machines: 1}, Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcome.Completed)+len(res.Outcome.Rejected) != 0 || res.Dispatches != 0 {
+		t.Fatalf("empty instance produced work: %+v", res)
+	}
+}

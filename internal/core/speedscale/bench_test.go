@@ -12,6 +12,7 @@ func benchRun(b *testing.B, n, m int) {
 	cfg.Load = 1.1
 	ins := workload.Random(cfg)
 	ins.Alpha = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(ins, Options{Epsilon: 0.3}); err != nil {
@@ -28,6 +29,7 @@ func BenchmarkRunWithDualTracking(b *testing.B) {
 	cfg.Weighted = true
 	ins := workload.Random(cfg)
 	ins.Alpha = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(ins, Options{Epsilon: 0.3, TrackDual: true}); err != nil {

@@ -31,6 +31,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/dispatch"
 	"repro/internal/eventq"
 	"repro/internal/sched"
 )
@@ -46,6 +47,10 @@ type Options struct {
 	Gamma float64
 	// TrackDual records per-job execution info for the Lemma 6 audit.
 	TrackDual bool
+	// ParallelDispatch sets the number of workers sharding the arrival-time
+	// argmin_i λ_ij; 0 selects automatically, 1 forces sequential. The
+	// choice never changes the output (see internal/dispatch).
+	ParallelDispatch int
 }
 
 // DefaultGamma returns the paper's γ(ε, α) (with the documented fallback for
@@ -77,8 +82,11 @@ type Result struct {
 	Dual *DualReport
 }
 
+// pitem is one pending job; id is the compact job index (sched.Index), the
+// same key space events and smachine.running use, so the hypothetical merge
+// in lambdaFor and the real insert order can never disagree.
 type pitem struct {
-	id      int
+	id      int // compact job index
 	w, p    float64
 	density float64
 	release float64
@@ -97,7 +105,7 @@ func pless(a, b pitem) bool {
 type smachine struct {
 	pending []pitem // density order
 
-	running  int // job id, -1 idle
+	running  int // compact job index, -1 idle
 	runStart float64
 	runSpeed float64
 	runVol   float64
@@ -125,11 +133,19 @@ type sstate struct {
 	out   *sched.Outcome
 	res   *Result
 	q     eventq.Queue
-	mach  []*smachine
-	jobs  map[int]*sched.Job
+	mach  []smachine
+	idx   *sched.Index
 	seq   int
-	snap  map[int]float64
-	dual  *DualReport
+	// snap holds per-job dispatch-time snapshots of the machine remnant
+	// accumulator, indexed by compact job index. Like the accumulators it
+	// snapshots, it only exists under TrackDual: its sole consumers are the
+	// dual report's definitive-finish times.
+	snap   []float64
+	pool   *dispatch.Pool
+	curJob *sched.Job        // job under dispatch, read by the argmin eval
+	curIdx int               // compact index of curJob
+	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
+	dual   *DualReport
 }
 
 // Run executes the algorithm on the instance.
@@ -154,47 +170,56 @@ func Run(ins *sched.Instance, opt Options) (*Result, error) {
 	if !(gamma > 0) {
 		return nil, fmt.Errorf("speedscale: gamma must be positive, got %v", gamma)
 	}
+	n := len(ins.Jobs)
 	s := &sstate{
 		ins: ins, opt: opt, alpha: alpha, gamma: gamma,
-		out:  sched.NewOutcome(),
-		jobs: make(map[int]*sched.Job, len(ins.Jobs)),
-		snap: make(map[int]float64),
+		out: sched.NewOutcomeSized(n),
+		idx: ins.Index(),
+	}
+	if opt.TrackDual {
+		s.snap = make([]float64, n)
 	}
 	s.res = &Result{Outcome: s.out, Gamma: gamma, Alpha: alpha}
 	if opt.TrackDual {
 		s.dual = newDualReport(opt.Epsilon, alpha, gamma)
 	}
-	s.mach = make([]*smachine, ins.Machines)
+	s.mach = make([]smachine, ins.Machines)
 	for i := range s.mach {
-		s.mach[i] = &smachine{running: -1}
+		s.mach[i] = smachine{running: -1}
 	}
+	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
+	defer s.pool.Close()
+	s.evalFn = s.evalCur
+
+	arrivals := make([]eventq.Event, n)
 	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		s.jobs[j.ID] = j
-		s.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
 	}
+	s.q.Init(arrivals)
+	s.q.Grow(ins.Machines) // completions otherwise reuse popped-arrival capacity
 	for s.q.Len() > 0 {
 		e := s.q.Pop()
 		switch e.Kind {
 		case eventq.KindArrival:
-			s.handleArrival(e.Time, s.jobs[e.Job])
+			s.handleArrival(e.Time, int(e.Job))
 		case eventq.KindCompletion:
 			s.handleCompletion(e)
 		}
 	}
-	if got := len(s.out.Completed) + len(s.out.Rejected); got != len(ins.Jobs) {
-		return nil, fmt.Errorf("speedscale: internal: %d jobs accounted, want %d", got, len(ins.Jobs))
+	if got := len(s.out.Completed) + len(s.out.Rejected); got != n {
+		return nil, fmt.Errorf("speedscale: internal: %d jobs accounted, want %d", got, n)
 	}
 	s.res.Dual = s.dual
 	return s.res, nil
 }
 
-// lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i.
-// One backwards pass accumulates the suffix weights W_ℓ = Σ_{ℓ'⪰ℓ} w_ℓ'.
-func (s *sstate) lambdaFor(j *sched.Job, i int) float64 {
-	m := s.mach[i]
+// lambdaFor evaluates λ_ij for a hypothetical dispatch of job jk to machine
+// i. One backwards pass accumulates the suffix weights W_ℓ = Σ_{ℓ'⪰ℓ} w_ℓ'.
+// Read-only, safe for concurrent machine shards.
+func (s *sstate) lambdaFor(j *sched.Job, jk, i int) float64 {
+	m := &s.mach[i]
 	p, w := j.Proc[i], j.Weight
-	it := pitem{id: j.ID, w: w, p: p, density: w / p, release: j.Release}
+	it := pitem{id: jk, w: w, p: p, density: w / p, release: j.Release}
 
 	// Suffix pass over pending ∪ {j} in reverse density order.
 	var sumAfterW float64   // Σ_{ℓ≻j} w_ℓ
@@ -204,7 +229,7 @@ func (s *sstate) lambdaFor(j *sched.Job, i int) float64 {
 	placedSelf := false     // j handled
 	handle := func(e pitem) {
 		suffix += e.w
-		if e.id == j.ID {
+		if e.id == jk {
 			wj = suffix
 			sumPrefTime += e.p / (s.gamma * math.Pow(suffix, 1/s.alpha))
 			placedSelf = true
@@ -228,20 +253,22 @@ func (s *sstate) lambdaFor(j *sched.Job, i int) float64 {
 	return w*(p/s.opt.Epsilon+sumPrefTime) + sumAfterW*p/(s.gamma*math.Pow(wj, 1/s.alpha))
 }
 
-func (s *sstate) handleArrival(t float64, j *sched.Job) {
-	best, bestLambda := 0, math.Inf(1)
-	for i := 0; i < s.ins.Machines; i++ {
-		if l := s.lambdaFor(j, i); l < bestLambda {
-			best, bestLambda = i, l
-		}
-	}
-	m := s.mach[best]
+// evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
+// stashed in curJob; bound once per run as evalFn, since evaluating a
+// method value allocates.
+func (s *sstate) evalCur(i int) float64 { return s.lambdaFor(s.curJob, s.curIdx, i) }
+
+func (s *sstate) handleArrival(t float64, jk int) {
+	j := s.idx.Job(jk)
+	s.curJob, s.curIdx = j, jk
+	best, bestLambda := s.pool.ArgMin(s.evalFn)
+	m := &s.mach[best]
 	s.out.Assigned[j.ID] = best
-	s.snap[j.ID] = m.remTimeAcc
 	if s.dual != nil {
+		s.snap[jk] = m.remTimeAcc
 		s.dual.noteDispatch(j, best, s.opt.Epsilon/(1+s.opt.Epsilon)*bestLambda)
 	}
-	m.insert(pitem{id: j.ID, w: j.Weight, p: j.Proc[best], density: j.Weight / j.Proc[best], release: j.Release})
+	m.insert(pitem{id: jk, w: j.Weight, p: j.Proc[best], density: j.Weight / j.Proc[best], release: j.Release})
 
 	if m.running != -1 {
 		m.victimW += j.Weight
@@ -255,31 +282,32 @@ func (s *sstate) handleArrival(t float64, j *sched.Job) {
 }
 
 func (s *sstate) rejectRunning(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	k := m.running
 	done := (t - m.runStart) * m.runSpeed
 	q := m.runVol - done
 	if q < 0 {
 		q = 0
 	}
+	id := s.idx.ID(k)
 	if t > m.runStart+sched.Eps {
 		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: k, Machine: i, Start: m.runStart, End: t, Speed: m.runSpeed,
+			Job: id, Machine: i, Start: m.runStart, End: t, Speed: m.runSpeed,
 		})
 	}
-	s.out.Rejected[k] = t
+	s.out.Rejected[id] = t
 	s.res.Rejections++
 	s.res.RejectedWeight += m.runW
-	m.remTimeAcc += q / m.runSpeed
 	if s.dual != nil {
-		s.dual.noteFinish(k, i, m.runStart, m.runSpeed, t, q, t+(m.remTimeAcc-s.snap[k]))
+		m.remTimeAcc += q / m.runSpeed
+		s.dual.noteFinish(id, i, m.runStart, m.runSpeed, t, q, t+(m.remTimeAcc-s.snap[k]))
 	}
 	m.running = -1
 	m.victimW = 0
 }
 
 func (s *sstate) startNext(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	if len(m.pending) == 0 {
 		return
 	}
@@ -300,24 +328,25 @@ func (s *sstate) startNext(i int, t float64) {
 	m.runSeq = s.seq
 	s.q.Push(eventq.Event{
 		Time: t + it.p/speed, Kind: eventq.KindCompletion,
-		Job: it.id, Machine: i, Version: s.seq,
+		Job: int32(it.id), Machine: int32(i), Version: int32(s.seq),
 	})
 }
 
 func (s *sstate) handleCompletion(e eventq.Event) {
-	m := s.mach[e.Machine]
-	if m.running != e.Job || m.runSeq != e.Version {
+	m := &s.mach[e.Machine]
+	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
 		return // stale: interrupted by a rejection
 	}
+	id := s.idx.ID(int(e.Job))
 	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: m.runSpeed,
+		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: m.runSpeed,
 	})
-	s.out.Completed[e.Job] = e.Time
+	s.out.Completed[id] = e.Time
 	if s.dual != nil {
-		s.dual.noteFinish(e.Job, e.Machine, m.runStart, m.runSpeed, e.Time, 0,
-			e.Time+(m.remTimeAcc-s.snap[e.Job]))
+		s.dual.noteFinish(id, int(e.Machine), m.runStart, m.runSpeed, e.Time, 0,
+			e.Time+(m.remTimeAcc-s.snap[int(e.Job)]))
 	}
 	m.running = -1
 	m.victimW = 0
-	s.startNext(e.Machine, e.Time)
+	s.startNext(int(e.Machine), e.Time)
 }

@@ -1,0 +1,35 @@
+package wflow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestParallelDispatchDeterminism: the sharded argmin must reproduce the
+// sequential outcome exactly (see internal/dispatch).
+func TestParallelDispatchDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := workload.DefaultConfig(500, 10, seed)
+		cfg.Weighted = true
+		cfg.Load = 1.3
+		ins := workload.Random(cfg)
+		seq, err := Run(ins, Options{Epsilon: 0.3, ParallelDispatch: 1})
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		for _, workers := range []int{2, 3, 10} {
+			par, err := Run(ins, Options{Epsilon: 0.3, ParallelDispatch: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(seq.Outcome, par.Outcome) {
+				t.Fatalf("seed %d: outcome diverges with %d workers", seed, workers)
+			}
+			if seq.RejectedWeight != par.RejectedWeight {
+				t.Fatalf("seed %d workers %d: rejected weight diverges", seed, workers)
+			}
+		}
+	}
+}

@@ -23,12 +23,17 @@
 // dispatched units on disjoint charging windows, so the total rejected
 // weight is at most 2ε·W — the budget half of a weighted Theorem 1. No
 // competitive-ratio proof is claimed; E13 measures the ratio empirically.
+//
+// The density treap carries (p, w) as its auxiliary value pair, so one
+// O(log n) rank query yields both prefix aggregates of λ_ij; per-job state
+// lives in dense sched.Index slices and the machine argmin shards across
+// internal/dispatch like the unweighted scheduler.
 package wflow
 
 import (
 	"fmt"
-	"math"
 
+	"repro/internal/dispatch"
 	"repro/internal/eventq"
 	"repro/internal/ostree"
 	"repro/internal/sched"
@@ -38,6 +43,10 @@ import (
 type Options struct {
 	// Epsilon ∈ (0,1): the rejected weight budget is 2ε·W.
 	Epsilon float64
+	// ParallelDispatch sets the number of workers sharding the arrival-time
+	// argmin_i λ_ij; 0 selects automatically, 1 forces sequential. The
+	// choice never changes the output (see internal/dispatch).
+	ParallelDispatch int
 }
 
 // Result is the audited output of a run.
@@ -52,13 +61,13 @@ type Result struct {
 
 type wmachine struct {
 	// pending orders by descending density via negated key (ostree sorts
-	// ascending); paired with byProc for Rule 2's delete-max-processing.
-	pending *ostree.Tree // Key.P = −w/p (density order)
+	// ascending) and carries (p, w) as its value pair, so λ's prefix sums
+	// come from one rank query; paired with byProc for Rule 2's
+	// delete-max-processing.
+	pending *ostree.Tree // Key.P = −w/p (density order), vals = (p, w)
 	byProc  *ostree.Tree // Key.P = p (processing-time order)
 
-	pendingW float64 // Σ w over pending
-
-	running  int
+	running  int // compact job index, -1 idle
 	runStart float64
 	runProc  float64
 	runW     float64
@@ -69,14 +78,17 @@ type wmachine struct {
 }
 
 type wstate struct {
-	ins  *sched.Instance
-	opt  Options
-	out  *sched.Outcome
-	res  *Result
-	q    eventq.Queue
-	mach []*wmachine
-	jobs map[int]*sched.Job
-	seq  int
+	ins    *sched.Instance
+	opt    Options
+	out    *sched.Outcome
+	res    *Result
+	q      eventq.Queue
+	mach   []wmachine
+	idx    *sched.Index
+	pool   *dispatch.Pool
+	curJob *sched.Job        // job under dispatch, read by the argmin eval
+	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
+	seq    int
 }
 
 // Run executes the weighted extension on the instance.
@@ -87,36 +99,42 @@ func Run(ins *sched.Instance, opt Options) (*Result, error) {
 	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
 		return nil, fmt.Errorf("wflow: epsilon must be in (0,1), got %v", opt.Epsilon)
 	}
+	n := len(ins.Jobs)
 	s := &wstate{
 		ins: ins, opt: opt,
-		out:  sched.NewOutcome(),
-		jobs: make(map[int]*sched.Job, len(ins.Jobs)),
+		out: sched.NewOutcomeSized(n),
+		idx: ins.Index(),
 	}
 	s.res = &Result{Outcome: s.out}
-	s.mach = make([]*wmachine, ins.Machines)
+	s.mach = make([]wmachine, ins.Machines)
 	for i := range s.mach {
-		s.mach[i] = &wmachine{
+		s.mach[i] = wmachine{
 			pending: ostree.New(uint64(0x77f1) + uint64(i)),
 			byProc:  ostree.New(uint64(0x88f2) + uint64(i)),
 			running: -1,
 		}
 	}
+	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
+	defer s.pool.Close()
+	s.evalFn = s.evalCur
+
+	arrivals := make([]eventq.Event, n)
 	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		s.jobs[j.ID] = j
-		s.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: j.ID, Machine: -1})
+		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
 	}
+	s.q.Init(arrivals)
+	s.q.Grow(ins.Machines) // completions otherwise reuse popped-arrival capacity
 	for s.q.Len() > 0 {
 		e := s.q.Pop()
 		switch e.Kind {
 		case eventq.KindArrival:
-			s.handleArrival(e.Time, s.jobs[e.Job])
+			s.handleArrival(e.Time, int(e.Job))
 		case eventq.KindCompletion:
 			s.handleCompletion(e)
 		}
 	}
-	if got := len(s.out.Completed) + len(s.out.Rejected); got != len(ins.Jobs) {
-		return nil, fmt.Errorf("wflow: internal: %d jobs accounted, want %d", got, len(ins.Jobs))
+	if got := len(s.out.Completed) + len(s.out.Rejected); got != n {
+		return nil, fmt.Errorf("wflow: internal: %d jobs accounted, want %d", got, n)
 	}
 	return s.res, nil
 }
@@ -129,56 +147,42 @@ func (s *wstate) procKey(j *sched.Job, i int) ostree.Key {
 	return ostree.Key{P: j.Proc[i], Release: j.Release, ID: j.ID}
 }
 
-// lambdaFor evaluates the weighted λ_ij for a hypothetical dispatch. The
-// density treap gives Σ p over higher-density jobs via RankStats on the
-// negated-density key ordering... weights, however, need the complementary
-// sum, so both aggregates are derived from the two treaps.
+// lambdaFor evaluates the weighted λ_ij for a hypothetical dispatch of j to
+// machine i. The density treap aggregates (p, w) alongside its keys, so the
+// prefix processing time Σ_{ℓ⪯j} p_iℓ and prefix weight both come from a
+// single rank query; the suffix weight is the complement against the
+// machine's pending total. Read-only, safe for concurrent machine shards.
 func (s *wstate) lambdaFor(j *sched.Job, i int) float64 {
-	m := s.mach[i]
+	m := &s.mach[i]
 	p, w := j.Proc[i], j.Weight
-	// Jobs preceding j in density order (ℓ ⪯ j, excluding j): in the
-	// negated ordering these are exactly the keys before densityKey(j).
-	_, sumPBefore, _ := m.pending.RankStats(s.densityKey(j, i))
-	// Weight strictly after j in density order = total − weight before.
-	// The density treap aggregates P = −w/p, not weights, so recompute the
-	// succeeding weight via a second rank query on the weight-bearing
-	// tree: byProc stores P = p, which does not order by density. Fall
-	// back to an ordered walk bounded by the density position instead.
-	var wBefore float64
-	key := s.densityKey(j, i)
-	m.pending.Ascend(func(k ostree.Key) bool {
-		if !k.Less(key) {
-			return false
-		}
-		wBefore += s.jobs[k.ID].Weight
-		return true
-	})
-	wAfter := m.pendingW - wBefore
+	_, _, sumPBefore, wBefore, _ := m.pending.RankStatsVals(s.densityKey(j, i))
+	_, totW := m.pending.SumVals() // Σ w over pending, from the same aggregate
+	wAfter := totW - wBefore
 	return w*p/s.opt.Epsilon + w*(sumPBefore+p) + p*wAfter
 }
 
+// evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
+// stashed in curJob; bound once per run as evalFn, since evaluating a
+// method value allocates.
+func (s *wstate) evalCur(i int) float64 { return s.lambdaFor(s.curJob, i) }
+
 func (s *wstate) insertPending(j *sched.Job, i int) {
-	m := s.mach[i]
-	m.pending.Insert(s.densityKey(j, i))
+	m := &s.mach[i]
+	m.pending.InsertVals(s.densityKey(j, i), j.Proc[i], j.Weight)
 	m.byProc.Insert(s.procKey(j, i))
-	m.pendingW += j.Weight
 }
 
 func (s *wstate) removePending(j *sched.Job, i int) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	m.pending.Delete(s.densityKey(j, i))
 	m.byProc.Delete(s.procKey(j, i))
-	m.pendingW -= j.Weight
 }
 
-func (s *wstate) handleArrival(t float64, j *sched.Job) {
-	best, bestLambda := 0, math.Inf(1)
-	for i := 0; i < s.ins.Machines; i++ {
-		if l := s.lambdaFor(j, i); l < bestLambda {
-			best, bestLambda = i, l
-		}
-	}
-	m := s.mach[best]
+func (s *wstate) handleArrival(t float64, jk int) {
+	j := s.idx.Job(jk)
+	s.curJob = j
+	best, _ := s.pool.ArgMin(s.evalFn)
+	m := &s.mach[best]
 	s.out.Assigned[j.ID] = best
 	s.insertPending(j, best)
 	m.counterW += j.Weight
@@ -199,14 +203,14 @@ func (s *wstate) handleArrival(t float64, j *sched.Job) {
 }
 
 func (s *wstate) rejectRunning(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	k := m.running
 	if t > m.runStart+sched.Eps {
 		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: k, Machine: i, Start: m.runStart, End: t, Speed: 1,
+			Job: s.idx.ID(k), Machine: i, Start: m.runStart, End: t, Speed: 1,
 		})
 	}
-	s.out.Rejected[k] = t
+	s.out.Rejected[s.idx.ID(k)] = t
 	s.res.Rule1Rejections++
 	s.res.RejectedWeight += m.runW
 	m.running = -1
@@ -214,14 +218,14 @@ func (s *wstate) rejectRunning(i int, t float64) {
 }
 
 func (s *wstate) maybeRejectLargest(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	eps := s.opt.Epsilon
 	for {
 		key, ok := m.byProc.Max()
 		if !ok {
 			return
 		}
-		j := s.jobs[key.ID]
+		j := s.idx.JobByID(key.ID)
 		if j.Weight > eps/(1+eps)*m.counterW {
 			return // cannot afford the largest job yet
 		}
@@ -234,33 +238,35 @@ func (s *wstate) maybeRejectLargest(i int, t float64) {
 }
 
 func (s *wstate) startNext(i int, t float64) {
-	m := s.mach[i]
+	m := &s.mach[i]
 	key, ok := m.pending.Min() // most negative −w/p = highest density
 	if !ok {
 		return
 	}
-	j := s.jobs[key.ID]
+	jk := s.idx.Of(key.ID)
+	j := s.idx.Job(jk)
 	s.removePending(j, i)
-	m.running = j.ID
+	m.running = jk
 	m.runStart = t
 	m.runProc = j.Proc[i]
 	m.runW = j.Weight
 	m.victimW = 0
 	s.seq++
 	m.runSeq = s.seq
-	s.q.Push(eventq.Event{Time: t + m.runProc, Kind: eventq.KindCompletion, Job: j.ID, Machine: i, Version: s.seq})
+	s.q.Push(eventq.Event{Time: t + m.runProc, Kind: eventq.KindCompletion, Job: int32(jk), Machine: int32(i), Version: int32(s.seq)})
 }
 
 func (s *wstate) handleCompletion(e eventq.Event) {
-	m := s.mach[e.Machine]
-	if m.running != e.Job || m.runSeq != e.Version {
+	m := &s.mach[e.Machine]
+	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
 		return
 	}
+	id := s.idx.ID(int(e.Job))
 	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: e.Job, Machine: e.Machine, Start: m.runStart, End: e.Time, Speed: 1,
+		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
 	})
-	s.out.Completed[e.Job] = e.Time
+	s.out.Completed[id] = e.Time
 	m.running = -1
 	m.victimW = 0
-	s.startNext(e.Machine, e.Time)
+	s.startNext(int(e.Machine), e.Time)
 }

@@ -1,0 +1,162 @@
+// Package dispatch provides the shared arrival-time machine-selection core
+// of the λ-dispatch schedulers (internal/core/flowtime, wflow, speedscale):
+// an argmin_i f(i) over all machines, optionally sharded across a persistent
+// worker pool when the machine count is large.
+//
+// Determinism contract: ArgMin returns exactly the machine the canonical
+// sequential loop
+//
+//	best, bestVal := 0, math.Inf(1)
+//	for i := 0; i < n; i++ { if v := f(i); v < bestVal { best, bestVal = i, v } }
+//
+// would select — the lowest-index minimizer under strict < comparison. The
+// parallel path shards [0,n) into contiguous ascending ranges, computes each
+// shard's lowest-index strict minimum independently, and reduces the shard
+// results in shard order with the same strict comparison, which commutes with
+// the sequential scan because no floating-point value is ever recombined.
+// Outputs are therefore bit-identical to the sequential path (including the
+// all-+Inf and all-NaN corner cases, which select machine 0 either way).
+//
+// The eval function must be safe to call concurrently for distinct i. During
+// dispatch the schedulers only read per-machine state, so this holds.
+package dispatch
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DefaultThreshold is the machine count at which the automatic worker policy
+// (Workers with requested == 0) switches from sequential to sharded
+// dispatch. Below it, the per-arrival handoff to the pool costs more than
+// the λ evaluations it parallelizes.
+const DefaultThreshold = 32
+
+// Workers resolves a requested parallelism against the machine count:
+// 0 selects automatically — sequential below DefaultThreshold machines or
+// when GOMAXPROCS gives no parallelism, otherwise one worker per
+// DefaultThreshold/4 machines capped at GOMAXPROCS. 1 forces sequential.
+// Explicit requests ≥ 2 are honored as given (capped only at one worker per
+// machine), so tests can exercise the sharded path on any host. The result
+// is ≥ 1.
+func Workers(requested, machines int) int {
+	w := requested
+	if w == 0 {
+		p := runtime.GOMAXPROCS(0)
+		if machines < DefaultThreshold || p < 2 {
+			return 1
+		}
+		w = machines / (DefaultThreshold / 4)
+		if w > p {
+			w = p
+		}
+	}
+	if w > machines {
+		w = machines
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Pool evaluates argmin over [0, n) on a fixed set of worker goroutines that
+// persist across calls; per-call cost is one channel send per worker plus a
+// WaitGroup rendezvous, with zero steady-state allocation. A Pool with one
+// worker short-circuits to an inline loop. Close releases the goroutines.
+type Pool struct {
+	workers int
+	n       int
+
+	eval    func(i int) float64
+	bestVal []float64
+	bestIdx []int
+
+	work chan int
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// NewPool starts a pool of the given size for argmin calls over [0, n).
+// workers is clamped to [1, n].
+func NewPool(workers, n int) *Pool {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		n:       n,
+		bestVal: make([]float64, workers),
+		bestIdx: make([]int, workers),
+	}
+	if workers == 1 {
+		return p
+	}
+	p.work = make(chan int)
+	p.quit = make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go p.run()
+	}
+	return p
+}
+
+// Parallel reports whether the pool shards across goroutines.
+func (p *Pool) Parallel() bool { return p.workers > 1 }
+
+// Close stops the worker goroutines. The pool must not be used afterwards.
+// Close on a sequential (1-worker) pool is a no-op.
+func (p *Pool) Close() {
+	if p.work != nil {
+		close(p.quit)
+	}
+}
+
+func (p *Pool) run() {
+	for {
+		select {
+		case w := <-p.work:
+			lo := w * p.n / p.workers
+			hi := (w + 1) * p.n / p.workers
+			best, bv := -1, math.Inf(1)
+			for i := lo; i < hi; i++ {
+				if v := p.eval(i); v < bv {
+					best, bv = i, v
+				}
+			}
+			p.bestIdx[w], p.bestVal[w] = best, bv
+			p.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// ArgMin returns the lowest-index minimizer of eval over [0, n) and its
+// value, per the package determinism contract.
+func (p *Pool) ArgMin(eval func(i int) float64) (best int, bestVal float64) {
+	best, bestVal = 0, math.Inf(1)
+	if p.workers == 1 {
+		for i := 0; i < p.n; i++ {
+			if v := eval(i); v < bestVal {
+				best, bestVal = i, v
+			}
+		}
+		return best, bestVal
+	}
+	p.eval = eval
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.work <- w
+	}
+	p.wg.Wait()
+	for w := 0; w < p.workers; w++ {
+		if p.bestIdx[w] >= 0 && p.bestVal[w] < bestVal {
+			best, bestVal = p.bestIdx[w], p.bestVal[w]
+		}
+	}
+	return best, bestVal
+}

@@ -6,12 +6,15 @@
 // then by insertion sequence for full determinism. Stale events — completion
 // events for executions that were interrupted by a rejection — are handled by
 // the callers via version counters carried in the payload.
+//
+// The queue is a hand-rolled 4-ary min-heap: compared to container/heap it
+// avoids the interface boxing that allocates on every Push, halves the sift
+// depth, and keeps the hot comparison inlineable. Init heapifies an initial
+// event batch in O(n).
 package eventq
 
-import "container/heap"
-
 // Kind orders simultaneous events. Lower kinds pop first.
-type Kind int
+type Kind int8
 
 const (
 	// KindCompletion fires when a machine finishes its running job.
@@ -24,59 +27,132 @@ const (
 )
 
 // Event is one timed occurrence. Payload fields are interpreted by callers.
+// The struct is exactly 32 bytes so heap sifts move half as much memory as
+// the naive int-field layout.
 type Event struct {
-	Time    float64
+	Time float64
+	// ord packs (Kind, insertion sequence) into one word, so the tie-break
+	// after Time is a single integer compare. Maintained by Push/Init.
+	ord     uint64
+	Job     int32 // job id or compact job index, or -1
+	Machine int32 // machine index, or -1
+	Version int32 // start-version guard for completion events
 	Kind    Kind
-	Job     int // job id, or -1
-	Machine int // machine index, or -1
-	Version int // start-version guard for completion events
-
-	seq int
 }
 
-type eventHeap []Event
+// ordShift places Kind above the 56-bit insertion-sequence space.
+const ordShift = 56
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	ea, eb := h[a], h[b]
-	if ea.Time != eb.Time {
-		return ea.Time < eb.Time
+// less orders events by (Time, Kind, seq), the latter two via ord.
+func less(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
 	}
-	if ea.Kind != eb.Kind {
-		return ea.Kind < eb.Kind
-	}
-	return ea.seq < eb.seq
-}
-func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.ord < b.ord
 }
 
 // Queue is a deterministic min-heap of events. The zero value is ready to
 // use.
 type Queue struct {
-	h   eventHeap
-	seq int
+	h   []Event
+	seq uint64
 }
+
+// arity is the heap fan-out: child c of node i sits at i*arity+1+c.
+const arity = 4
 
 // Push inserts an event.
 func (q *Queue) Push(e Event) {
-	e.seq = q.seq
+	e.ord = uint64(e.Kind)<<ordShift | q.seq
 	q.seq++
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+}
+
+// Init replaces the queue contents with the given batch, assigning insertion
+// sequence in slice order and heapifying in O(n). The slice is copied, not
+// retained.
+func (q *Queue) Init(events []Event) {
+	q.h = append(q.h[:0], events...)
+	for i := range q.h {
+		q.h[i].ord = uint64(q.h[i].Kind)<<ordShift | q.seq
+		q.seq++
+	}
+	if len(q.h) < 2 {
+		return // nothing to heapify; (0-2)/arity would also truncate to 0
+	}
+	for i := (len(q.h) - 2) / arity; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// Grow ensures capacity for n additional events without reallocation.
+func (q *Queue) Grow(n int) {
+	if free := cap(q.h) - len(q.h); free < n {
+		nh := make([]Event, len(q.h), len(q.h)+n)
+		copy(nh, q.h)
+		q.h = nh
+	}
 }
 
 // Pop removes and returns the earliest event. It panics on an empty queue;
 // guard with Len.
-func (q *Queue) Pop() Event { return heap.Pop(&q.h).(Event) }
+func (q *Queue) Pop() Event {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	q.h = h[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
 
 // Peek returns the earliest event without removing it.
 func (q *Queue) Peek() Event { return q.h[0] }
 
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
+
+func (q *Queue) siftUp(i int) {
+	h := q.h
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		if !less(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+func (q *Queue) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	e := h[i]
+	for {
+		c := i*arity + 1
+		if c >= n {
+			break
+		}
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !less(&h[m], &e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+}

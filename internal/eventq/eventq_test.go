@@ -37,10 +37,10 @@ func TestKindBreaksTies(t *testing.T) {
 func TestInsertionOrderBreaksFullTies(t *testing.T) {
 	var q Queue
 	for id := 0; id < 10; id++ {
-		q.Push(Event{Time: 1, Kind: KindArrival, Job: id})
+		q.Push(Event{Time: 1, Kind: KindArrival, Job: int32(id)})
 	}
 	for id := 0; id < 10; id++ {
-		if e := q.Pop(); e.Job != id {
+		if e := q.Pop(); int(e.Job) != id {
 			t.Fatalf("tie broken out of insertion order: got %d want %d", e.Job, id)
 		}
 	}
@@ -100,5 +100,60 @@ func TestInterleavedPushPop(t *testing.T) {
 	}
 	if popped+q.Len() != pushed {
 		t.Fatalf("lost events: pushed %d, popped %d, left %d", pushed, popped, q.Len())
+	}
+}
+
+func TestInitMatchesPushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := make([]Event, 500)
+	for i := range events {
+		events[i] = Event{Time: rng.Float64() * 100, Kind: Kind(rng.Intn(3)), Job: int32(i)}
+	}
+	var bulk, oneByOne Queue
+	bulk.Init(events)
+	for _, e := range events {
+		oneByOne.Push(e)
+	}
+	for oneByOne.Len() > 0 {
+		a, b := bulk.Pop(), oneByOne.Pop()
+		if a != b {
+			t.Fatalf("bulk Init diverged from pushes: %+v vs %+v", a, b)
+		}
+	}
+	if bulk.Len() != 0 {
+		t.Fatalf("bulk queue has %d leftover events", bulk.Len())
+	}
+}
+
+func TestInitThenPushKeepsSequenceOrder(t *testing.T) {
+	var q Queue
+	q.Init([]Event{{Time: 1, Kind: KindArrival, Job: 0}, {Time: 1, Kind: KindArrival, Job: 1}})
+	q.Push(Event{Time: 1, Kind: KindArrival, Job: 2})
+	for want := int32(0); want < 3; want++ {
+		if e := q.Pop(); e.Job != want {
+			t.Fatalf("got job %d, want %d", e.Job, want)
+		}
+	}
+}
+
+func TestGrowPreservesContents(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 2, Job: 1})
+	q.Grow(1000)
+	q.Push(Event{Time: 1, Job: 2})
+	if e := q.Pop(); e.Job != 2 || q.Len() != 1 {
+		t.Fatalf("Grow corrupted the queue: %+v len=%d", e, q.Len())
+	}
+}
+
+func TestInitEmptyAndSingle(t *testing.T) {
+	var q Queue
+	q.Init(nil) // must not panic
+	if q.Len() != 0 {
+		t.Fatalf("empty Init: len %d", q.Len())
+	}
+	q.Init([]Event{{Time: 3, Job: 1}})
+	if e := q.Pop(); e.Job != 1 || q.Len() != 0 {
+		t.Fatalf("single Init broken: %+v", e)
 	}
 }

@@ -23,6 +23,7 @@ func randomLP(nVars, nCons int, seed int64) *Problem {
 
 func benchSolve(b *testing.B, nVars, nCons int) {
 	p := randomLP(nVars, nCons, 7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(p); err != nil {

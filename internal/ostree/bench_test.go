@@ -17,6 +17,7 @@ func buildTree(n int, seed uint64) *Tree {
 func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	tr := New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Insert(Key{P: rng.Float64() * 100, ID: i})
@@ -31,6 +32,7 @@ func BenchmarkInsert(b *testing.B) {
 func BenchmarkRankStats(b *testing.B) {
 	tr := buildTree(10000, 7)
 	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.RankStats(Key{P: rng.Float64() * 100, ID: -1})
@@ -40,6 +42,7 @@ func BenchmarkRankStats(b *testing.B) {
 func BenchmarkInsertDeleteMinMax(b *testing.B) {
 	tr := buildTree(10000, 9)
 	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Insert(Key{P: rng.Float64() * 100, ID: 100000 + i})

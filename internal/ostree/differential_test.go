@@ -1,0 +1,213 @@
+package ostree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refTree is the naive reference model: a sorted slice with the same
+// (Key, value-pair) contents, implementing every queried operation by scan.
+type refTree struct {
+	keys []Key
+	a    map[Key][2]float64
+}
+
+func newRef() *refTree {
+	return &refTree{a: make(map[Key][2]float64)}
+}
+
+func (r *refTree) insert(k Key, a, b float64) {
+	i := sort.Search(len(r.keys), func(x int) bool { return !r.keys[x].Less(k) })
+	r.keys = append(r.keys, Key{})
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = k
+	r.a[k] = [2]float64{a, b}
+}
+
+func (r *refTree) delete(k Key) bool {
+	for i := range r.keys {
+		if r.keys[i] == k {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			delete(r.a, k)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTree) deleteMin() (Key, bool) {
+	if len(r.keys) == 0 {
+		return Key{}, false
+	}
+	k := r.keys[0]
+	return k, r.delete(k)
+}
+
+func (r *refTree) deleteMax() (Key, bool) {
+	if len(r.keys) == 0 {
+		return Key{}, false
+	}
+	k := r.keys[len(r.keys)-1]
+	return k, r.delete(k)
+}
+
+func (r *refTree) sumP() float64 {
+	var s float64
+	for _, k := range r.keys {
+		s += k.P
+	}
+	return s
+}
+
+func (r *refTree) rankStats(k Key) (before int, sumP, sumA, sumB float64, after int) {
+	for _, o := range r.keys {
+		switch {
+		case o.Less(k):
+			before++
+			sumP += o.P
+			sumA += r.a[o][0]
+			sumB += r.a[o][1]
+		case k.Less(o):
+			after++
+		}
+	}
+	return
+}
+
+// applyOps drives a Tree and the reference through the same operation stream
+// and cross-checks every observable result. Operation stream bytes: the low
+// bits select the op, the rest parameterize it, so the fuzzer can explore
+// arbitrary interleavings.
+func applyOps(t *testing.T, seed uint64, ops []byte) {
+	t.Helper()
+	tr := New(seed)
+	ref := newRef()
+	nextID := 0
+	for pc := 0; pc+1 < len(ops); pc += 2 {
+		op, arg := ops[pc], ops[pc+1]
+		switch op % 5 {
+		case 0: // insert (with values; p derives from arg, may collide)
+			p := float64(arg%16) + 0.5
+			k := Key{P: p, Release: float64(arg % 7), ID: nextID}
+			nextID++
+			a, b := p*2, float64(arg%5)
+			tr.InsertVals(k, a, b)
+			ref.insert(k, a, b)
+		case 1: // delete-min
+			gk, gok := tr.DeleteMin()
+			wk, wok := ref.deleteMin()
+			if gok != wok || gk != wk {
+				t.Fatalf("op %d: DeleteMin got (%v,%v) want (%v,%v)", pc, gk, gok, wk, wok)
+			}
+		case 2: // delete-max
+			gk, gok := tr.DeleteMax()
+			wk, wok := ref.deleteMax()
+			if gok != wok || gk != wk {
+				t.Fatalf("op %d: DeleteMax got (%v,%v) want (%v,%v)", pc, gk, gok, wk, wok)
+			}
+		case 3: // delete an arbitrary (maybe absent) key
+			k := Key{P: float64(arg%16) + 0.5, Release: float64(arg % 7), ID: int(arg) % (nextID + 1)}
+			if got, want := tr.Delete(k), ref.delete(k); got != want {
+				t.Fatalf("op %d: Delete(%v) got %v want %v", pc, k, got, want)
+			}
+		case 4: // rank query at a probe key (stored or not)
+			k := Key{P: float64(arg%16) + 0.5, Release: float64(arg % 7), ID: int(arg) % (nextID + 1)}
+			gb, gp, ga, gb2, gaft := tr.RankStatsVals(k)
+			wb, wp, wa, wb2, waft := ref.rankStats(k)
+			if gb != wb || gaft != waft || !approxEq(gp, wp) || !approxEq(ga, wa) || !approxEq(gb2, wb2) {
+				t.Fatalf("op %d: RankStatsVals(%v) got (%d,%v,%v,%v,%d) want (%d,%v,%v,%v,%d)",
+					pc, k, gb, gp, ga, gb2, gaft, wb, wp, wa, wb2, waft)
+			}
+			b2, p2, aft2 := tr.RankStats(k)
+			if b2 != wb || aft2 != waft || !approxEq(p2, wp) {
+				t.Fatalf("op %d: RankStats(%v) got (%d,%v,%d) want (%d,%v,%d)", pc, k, b2, p2, aft2, wb, wp, waft)
+			}
+		}
+		// Invariants after every op.
+		if tr.Len() != len(ref.keys) {
+			t.Fatalf("op %d: Len got %d want %d", pc, tr.Len(), len(ref.keys))
+		}
+		if !approxEq(tr.SumP(), ref.sumP()) {
+			t.Fatalf("op %d: SumP got %v want %v", pc, tr.SumP(), ref.sumP())
+		}
+	}
+	// Final full-order check.
+	got := tr.Keys()
+	if len(got) != len(ref.keys) {
+		t.Fatalf("final: %d keys, want %d", len(got), len(ref.keys))
+	}
+	for i := range got {
+		if got[i] != ref.keys[i] {
+			t.Fatalf("final key %d: got %v want %v", i, got[i], ref.keys[i])
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestDifferentialRandom runs the differential model under long random
+// operation streams (always on, independent of fuzzing).
+func TestDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]byte, 4000)
+		rng.Read(ops)
+		applyOps(t, uint64(seed)*0x9e37+1, ops)
+	}
+}
+
+// FuzzTreeVsReference lets the fuzzer search for operation interleavings
+// where the treap diverges from the naive model.
+func FuzzTreeVsReference(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 3, 0, 7, 4, 5, 1, 0, 0, 9, 2, 0, 3, 7})
+	f.Add(uint64(42), []byte{0, 1, 0, 1, 0, 1, 4, 1, 1, 0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		if len(ops) > 1<<12 {
+			ops = ops[:1<<12]
+		}
+		applyOps(t, seed, ops)
+	})
+}
+
+// TestRecyclingReuseKeepsQueriesExact hammers one tree through many
+// insert/delete cycles (exercising the arena free list) and spot-checks
+// queries against the model afterwards.
+func TestRecyclingReuseKeepsQueriesExact(t *testing.T) {
+	tr := New(7)
+	ref := newRef()
+	rng := rand.New(rand.NewSource(99))
+	id := 0
+	for cycle := 0; cycle < 50; cycle++ {
+		for i := 0; i < 40; i++ {
+			k := Key{P: rng.Float64() * 10, Release: rng.Float64(), ID: id}
+			id++
+			tr.Insert(k)
+			ref.insert(k, 0, 0)
+		}
+		for i := 0; i < 35; i++ {
+			if rng.Intn(2) == 0 {
+				gk, _ := tr.DeleteMin()
+				wk, _ := ref.deleteMin()
+				if gk != wk {
+					t.Fatalf("cycle %d: DeleteMin %v want %v", cycle, gk, wk)
+				}
+			} else {
+				gk, _ := tr.DeleteMax()
+				wk, _ := ref.deleteMax()
+				if gk != wk {
+					t.Fatalf("cycle %d: DeleteMax %v want %v", cycle, gk, wk)
+				}
+			}
+		}
+	}
+	probe := Key{P: 5, Release: 0.5, ID: id}
+	gb, gp, gaft := tr.RankStats(probe)
+	wb, wp, _, _, waft := ref.rankStats(probe)
+	if gb != wb || gaft != waft || !approxEq(gp, wp) {
+		t.Fatalf("post-recycling RankStats got (%d,%v,%d) want (%d,%v,%d)", gb, gp, gaft, wb, wp, waft)
+	}
+}

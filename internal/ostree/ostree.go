@@ -7,6 +7,12 @@
 //
 // Keys order by (P, Release, ID), all strict, so the order is total whenever
 // IDs are unique.
+//
+// Each element may carry an auxiliary value pair aggregated alongside the
+// P-sums (InsertVals / RankStatsVals); the weighted scheduler stores
+// (processing time, weight) there while keying by density. Nodes are
+// allocated from an internal chunked arena and recycled through a free list,
+// so steady-state insert/delete cycles do not allocate.
 package ostree
 
 // Key identifies an element in SPT order: processing time first, then
@@ -34,26 +40,44 @@ type node struct {
 	left, right *node
 	count       int
 	sumP        float64
+	valA, valB  float64
+	sumA, sumB  float64
 }
 
 func (n *node) update() {
 	n.count = 1
 	n.sumP = n.key.P
-	if n.left != nil {
-		n.count += n.left.count
-		n.sumP += n.left.sumP
+	n.sumA = n.valA
+	n.sumB = n.valB
+	if l := n.left; l != nil {
+		n.count += l.count
+		n.sumP += l.sumP
+		n.sumA += l.sumA
+		n.sumB += l.sumB
 	}
-	if n.right != nil {
-		n.count += n.right.count
-		n.sumP += n.right.sumP
+	if r := n.right; r != nil {
+		n.count += r.count
+		n.sumP += r.sumP
+		n.sumA += r.sumA
+		n.sumB += r.sumB
 	}
 }
+
+// arenaChunk is the node-block size of the arena. Large enough to amortize
+// allocation, small enough not to waste memory on tiny trees.
+const arenaChunk = 64
 
 // Tree is an order-statistic treap. The zero value is not ready; use New so
 // the priority stream is seeded deterministically.
 type Tree struct {
 	root *node
 	rng  uint64
+
+	// free chains recycled nodes through their right pointers; chunk is the
+	// tail of the current arena block. Insert never allocates while either
+	// has capacity.
+	free  *node
+	chunk []node
 }
 
 // New returns an empty tree with a deterministic priority stream derived
@@ -74,6 +98,32 @@ func (t *Tree) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+func (t *Tree) alloc(k Key, a, b float64) *node {
+	var n *node
+	if t.free != nil {
+		n = t.free
+		t.free = n.right
+		n.left, n.right = nil, nil
+	} else {
+		if len(t.chunk) == 0 {
+			t.chunk = make([]node, arenaChunk)
+		}
+		n = &t.chunk[0]
+		t.chunk = t.chunk[1:]
+	}
+	n.key = k
+	n.prio = t.next()
+	n.valA, n.valB = a, b
+	n.update()
+	return n
+}
+
+func (t *Tree) recycle(n *node) {
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
+
 // Len reports the number of stored elements.
 func (t *Tree) Len() int {
 	if t.root == nil {
@@ -90,18 +140,12 @@ func (t *Tree) SumP() float64 {
 	return t.root.sumP
 }
 
-func split(n *node, k Key) (l, r *node) {
-	if n == nil {
-		return nil, nil
+// SumVals reports the sums of the auxiliary value pair over all elements.
+func (t *Tree) SumVals() (a, b float64) {
+	if t.root == nil {
+		return 0, 0
 	}
-	if n.key.Less(k) {
-		n.right, r = split(n.right, k)
-		n.update()
-		return n, r
-	}
-	l, n.left = split(n.left, k)
-	n.update()
-	return l, n
+	return t.root.sumA, t.root.sumB
 }
 
 func merge(l, r *node) *node {
@@ -121,37 +165,89 @@ func merge(l, r *node) *node {
 	return r
 }
 
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// insertNode descends once to the leaf position, bumping aggregates
+// incrementally on the way down (so no unwind recomputation is needed), then
+// restores the heap property with expected O(1) rotations. hasVals gates the
+// auxiliary-sum bumps so value-free trees never touch the cold half of the
+// node.
+func insertNode(n, nn *node, hasVals bool) *node {
+	if n == nil {
+		return nn
+	}
+	n.count++
+	n.sumP += nn.key.P
+	if hasVals {
+		n.sumA += nn.valA
+		n.sumB += nn.valB
+	}
+	if nn.key.Less(n.key) {
+		n.left = insertNode(n.left, nn, hasVals)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = insertNode(n.right, nn, hasVals)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
 // Insert adds a key. Inserting a key already present corrupts order-statistic
 // queries; callers must keep IDs unique.
 func (t *Tree) Insert(k Key) {
-	nn := &node{key: k, prio: t.next()}
-	nn.update()
-	l, r := split(t.root, k)
-	t.root = merge(merge(l, nn), r)
+	t.root = insertNode(t.root, t.alloc(k, 0, 0), false)
+}
+
+// InsertVals adds a key carrying the auxiliary value pair (a, b).
+func (t *Tree) InsertVals(k Key, a, b float64) {
+	t.root = insertNode(t.root, t.alloc(k, a, b), a != 0 || b != 0)
+}
+
+func deleteKey(n *node, k Key) (nn, removed *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key == k {
+		return merge(n.left, n.right), n
+	}
+	if k.Less(n.key) {
+		n.left, removed = deleteKey(n.left, k)
+	} else {
+		n.right, removed = deleteKey(n.right, k)
+	}
+	n.update()
+	return n, removed
 }
 
 // Delete removes the exact key if present and reports whether it was found.
 func (t *Tree) Delete(k Key) bool {
-	var found bool
-	var del func(n *node) *node
-	del = func(n *node) *node {
-		if n == nil {
-			return nil
-		}
-		if n.key == k {
-			found = true
-			return merge(n.left, n.right)
-		}
-		if k.Less(n.key) {
-			n.left = del(n.left)
-		} else {
-			n.right = del(n.right)
-		}
-		n.update()
-		return n
+	root, removed := deleteKey(t.root, k)
+	t.root = root
+	if removed == nil {
+		return false
 	}
-	t.root = del(t.root)
-	return found
+	t.recycle(removed)
+	return true
 }
 
 // Min returns the smallest key. ok is false on an empty tree.
@@ -178,22 +274,46 @@ func (t *Tree) Max() (k Key, ok bool) {
 	return n.key, true
 }
 
-// DeleteMin removes and returns the smallest key.
-func (t *Tree) DeleteMin() (Key, bool) {
-	k, ok := t.Min()
-	if ok {
-		t.Delete(k)
+func deleteMin(n *node) (nn, removed *node) {
+	if n.left == nil {
+		return n.right, n
 	}
-	return k, ok
+	n.left, removed = deleteMin(n.left)
+	n.update()
+	return n, removed
 }
 
-// DeleteMax removes and returns the largest key.
-func (t *Tree) DeleteMax() (Key, bool) {
-	k, ok := t.Max()
-	if ok {
-		t.Delete(k)
+func deleteMax(n *node) (nn, removed *node) {
+	if n.right == nil {
+		return n.left, n
 	}
-	return k, ok
+	n.right, removed = deleteMax(n.right)
+	n.update()
+	return n, removed
+}
+
+// DeleteMin removes and returns the smallest key in one left-spine descent.
+func (t *Tree) DeleteMin() (Key, bool) {
+	if t.root == nil {
+		return Key{}, false
+	}
+	root, rem := deleteMin(t.root)
+	t.root = root
+	k := rem.key
+	t.recycle(rem)
+	return k, true
+}
+
+// DeleteMax removes and returns the largest key in one right-spine descent.
+func (t *Tree) DeleteMax() (Key, bool) {
+	if t.root == nil {
+		return Key{}, false
+	}
+	root, rem := deleteMax(t.root)
+	t.root = root
+	k := rem.key
+	t.recycle(rem)
+	return k, true
 }
 
 // RankStats returns, for a hypothetical insertion of k, the number and P-sum
@@ -201,39 +321,60 @@ func (t *Tree) DeleteMax() (Key, bool) {
 // k itself need not be stored.
 func (t *Tree) RankStats(k Key) (before int, sumPBefore float64, after int) {
 	n := t.root
+	present := false
 	for n != nil {
 		if n.key.Less(k) {
 			before++
 			sumPBefore += n.key.P
-			if n.left != nil {
-				before += n.left.count
-				sumPBefore += n.left.sumP
+			if l := n.left; l != nil {
+				before += l.count
+				sumPBefore += l.sumP
 			}
 			n = n.right
 		} else {
+			if n.key == k {
+				present = true
+			}
 			n = n.left
 		}
 	}
 	after = t.Len() - before
-	if t.contains(k) {
+	if present {
 		after--
 	}
 	return before, sumPBefore, after
 }
 
-func (t *Tree) contains(k Key) bool {
+// RankStatsVals is RankStats extended with the auxiliary value-pair sums over
+// the elements strictly before k.
+func (t *Tree) RankStatsVals(k Key) (before int, sumPBefore, sumABefore, sumBBefore float64, after int) {
 	n := t.root
+	present := false
 	for n != nil {
-		if n.key == k {
-			return true
-		}
-		if k.Less(n.key) {
-			n = n.left
-		} else {
+		if n.key.Less(k) {
+			before++
+			sumPBefore += n.key.P
+			sumABefore += n.valA
+			sumBBefore += n.valB
+			if l := n.left; l != nil {
+				before += l.count
+				sumPBefore += l.sumP
+				sumABefore += l.sumA
+				sumBBefore += l.sumB
+			}
 			n = n.right
+		} else {
+			if n.key == k {
+				present = true
+			}
+			n = n.left
 		}
 	}
-	return false
+	after = t.Len() - before
+	if present {
+		after--
+	}
+	return before, sumPBefore, sumABefore, sumBBefore, after
 }
 
 // Ascend calls fn on every key in order, stopping early if fn returns false.

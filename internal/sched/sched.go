@@ -176,11 +176,17 @@ type Outcome struct {
 }
 
 // NewOutcome returns an empty outcome ready for recording.
-func NewOutcome() *Outcome {
+func NewOutcome() *Outcome { return NewOutcomeSized(0) }
+
+// NewOutcomeSized returns an empty outcome with storage preallocated for an
+// instance of n jobs, so recording a run of n completions stays off the map
+// growth path.
+func NewOutcomeSized(n int) *Outcome {
 	return &Outcome{
-		Completed: make(map[int]float64),
-		Rejected:  make(map[int]float64),
-		Assigned:  make(map[int]int),
+		Intervals: make([]Interval, 0, n),
+		Completed: make(map[int]float64, n),
+		Rejected:  make(map[int]float64, n),
+		Assigned:  make(map[int]int, n),
 	}
 }
 

@@ -355,3 +355,41 @@ func TestFlowTimeErrors(t *testing.T) {
 		t.Fatalf("FlowTime = %v, %v", f, err)
 	}
 }
+
+func TestIndexExtremeIDSpan(t *testing.T) {
+	// maxID-minID+1 overflows int for this pair; the span math must not
+	// wrap into a spuriously valid dense-table size.
+	ins := &Instance{Machines: 1, Jobs: []Job{
+		{ID: -4611686018427387904, Release: 0, Weight: 1, Deadline: NoDeadline, Proc: []float64{1}},
+		{ID: 4611686018427387904, Release: 1, Weight: 1, Deadline: NoDeadline, Proc: []float64{1}},
+	}}
+	ix := ins.Index()
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	for k := range ins.Jobs {
+		if got := ix.Of(ins.Jobs[k].ID); got != k {
+			t.Fatalf("Of(%d) = %d, want %d", ins.Jobs[k].ID, got, k)
+		}
+	}
+	if ix.Of(0) != -1 {
+		t.Fatalf("Of(absent) = %d, want -1", ix.Of(0))
+	}
+}
+
+func TestIndexDenseAndSparse(t *testing.T) {
+	ins := &Instance{Machines: 1, Jobs: []Job{
+		{ID: 100, Release: 0, Weight: 1, Deadline: NoDeadline, Proc: []float64{1}},
+		{ID: 102, Release: 1, Weight: 1, Deadline: NoDeadline, Proc: []float64{1}},
+		{ID: 101, Release: 2, Weight: 1, Deadline: NoDeadline, Proc: []float64{1}},
+	}}
+	ix := ins.Index()
+	for k := range ins.Jobs {
+		if ix.Of(ins.Jobs[k].ID) != k || ix.ID(k) != ins.Jobs[k].ID || ix.Job(k).ID != ins.Jobs[k].ID {
+			t.Fatalf("round trip failed at %d", k)
+		}
+	}
+	if ix.Of(99) != -1 || ix.Of(103) != -1 {
+		t.Fatal("absent IDs must map to -1")
+	}
+}
