@@ -77,6 +77,9 @@ func BenchmarkE12_Table8_GridAblation(b *testing.B) { runExperiment(b, "E12") }
 // Table 9: weighted-flow-time extension (beyond Theorem 1).
 func BenchmarkE13_Table9_WeightedExtension(b *testing.B) { runExperiment(b, "E13") }
 
+// Table 10: streaming shard throughput (jobs/sec, allocs/job vs shards).
+func BenchmarkE14_Table10_StreamThroughput(b *testing.B) { runExperiment(b, "E14") }
+
 // End-to-end scheduler throughput (jobs scheduled per op) on a fixed
 // overloaded workload; complements E10 with -benchmem numbers.
 func BenchmarkFlowtimeEndToEnd(b *testing.B) {

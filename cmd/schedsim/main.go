@@ -4,21 +4,33 @@
 // Usage:
 //
 //	schedsim -policy flowtime -eps 0.2 trace.json
+//	schedsim -policy wflow -eps 0.2 -parallel 4 trace.json
 //	schedsim -policy speedscale -eps 0.3 -alpha 2 trace.json
 //	schedsim -policy energymin deadline.json
 //	schedsim -policy greedy trace.json
 //	schedsim -policy flowtime -eps 0.2 -dump out.json trace.json
+//
+// With -stream the trace is NDJSON (produced by tracegen -ndjson) and is
+// consumed incrementally — from a file or stdin ("-" or no argument) —
+// feeding each job into a streaming scheduler session at read time, never
+// materializing the instance. Only the session-backed policies (flowtime,
+// wflow, speedscale) support this mode:
+//
+//	tracegen -ndjson -n 100000 | schedsim -stream -policy flowtime -eps 0.2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/baseline"
 	"repro/internal/core/energymin"
 	"repro/internal/core/flowtime"
 	"repro/internal/core/speedscale"
+	"repro/internal/core/wflow"
+	"repro/internal/engine"
 	"repro/internal/gantt"
 	"repro/internal/lowerbound"
 	"repro/internal/sched"
@@ -28,14 +40,28 @@ import (
 
 func main() {
 	var (
-		policy = flag.String("policy", "flowtime", "flowtime|speedscale|energymin|avr|greedy|fcfs|leastloaded|speedaug|immediate")
-		eps    = flag.Float64("eps", 0.2, "rejection parameter ε")
-		alpha  = flag.Float64("alpha", 0, "power exponent override (0: use trace)")
-		epsS   = flag.Float64("epsS", 0.2, "speed augmentation (speedaug)")
-		dump   = flag.String("dump", "", "write the outcome JSON to this file")
-		showG  = flag.Bool("gantt", false, "print an ASCII machine timeline")
+		policy   = flag.String("policy", "flowtime", "flowtime|wflow|speedscale|energymin|avr|greedy|fcfs|leastloaded|speedaug|immediate")
+		eps      = flag.Float64("eps", 0.2, "rejection parameter ε")
+		alpha    = flag.Float64("alpha", 0, "power exponent override (0: use trace)")
+		epsS     = flag.Float64("epsS", 0.2, "speed augmentation (speedaug)")
+		parallel = flag.Int("parallel", 0, "dispatch worker count for the λ-dispatch policies (0: auto, 1: sequential)")
+		stream   = flag.Bool("stream", false, "consume an NDJSON trace incrementally (file or stdin)")
+		dump     = flag.String("dump", "", "write the outcome JSON to this file")
+		showG    = flag.Bool("gantt", false, "print an ASCII machine timeline")
 	)
 	flag.Parse()
+	if *stream {
+		if flag.NArg() > 1 {
+			fmt.Fprintln(os.Stderr, "usage: schedsim -stream [flags] [trace.ndjson|-]")
+			os.Exit(2)
+		}
+		if *showG {
+			fmt.Fprintln(os.Stderr, "schedsim: -gantt needs the full instance and does not combine with -stream")
+			os.Exit(2)
+		}
+		runStream(*policy, *eps, *alpha, *parallel, flag.Arg(0), *dump)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: schedsim [flags] trace.json")
 		os.Exit(2)
@@ -49,14 +75,21 @@ func main() {
 	mode := sched.ValidateMode{}
 	switch *policy {
 	case "flowtime":
-		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: *eps})
+		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: *eps, ParallelDispatch: *parallel})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+		mode.RequireUnitSpeed = true
+	case "wflow":
+		res, err := wflow.Run(ins, wflow.Options{Epsilon: *eps, ParallelDispatch: *parallel})
 		if err != nil {
 			fatal(err)
 		}
 		out = res.Outcome
 		mode.RequireUnitSpeed = true
 	case "speedscale":
-		res, err := speedscale.Run(ins, speedscale.Options{Epsilon: *eps, Alpha: *alpha})
+		res, err := speedscale.Run(ins, speedscale.Options{Epsilon: *eps, Alpha: *alpha, ParallelDispatch: *parallel})
 		if err != nil {
 			fatal(err)
 		}
@@ -119,6 +152,156 @@ func main() {
 
 	if *dump != "" {
 		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteOutcome(f, out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// jobFact is the per-job footprint kept for metrics in stream mode: the
+// scheduler itself never sees an instance, only the fed jobs.
+type jobFact struct {
+	id      int
+	release float64
+	weight  float64
+}
+
+// runStream consumes an NDJSON trace incrementally and feeds a streaming
+// scheduler session, then reports flow metrics computed from the outcome
+// and the O(1)-per-job facts logged at feed time. A non-empty dump path
+// receives the outcome JSON, as in batch mode.
+func runStream(policy string, eps, alpha float64, parallel int, path, dump string) {
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = path
+	}
+	r, err := trace.NewNDJSONReader(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		fd     engine.Feeder
+		finish func() (*sched.Outcome, error)
+	)
+	switch policy {
+	case "flowtime":
+		s, err := flowtime.NewSession(r.Machines(), flowtime.Options{Epsilon: eps, ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		fd = s
+		finish = func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}
+	case "wflow":
+		s, err := wflow.NewSession(r.Machines(), wflow.Options{Epsilon: eps, ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		fd = s
+		finish = func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}
+	case "speedscale":
+		a := alpha
+		if a == 0 {
+			a = r.Alpha()
+		}
+		s, err := speedscale.NewSession(r.Machines(), speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		fd = s
+		finish = func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "schedsim: policy %q does not support -stream (use flowtime|wflow|speedscale)\n", policy)
+		os.Exit(2)
+	}
+
+	var facts []jobFact
+	for {
+		j, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := fd.Feed(j); err != nil {
+			fatal(err)
+		}
+		facts = append(facts, jobFact{id: j.ID, release: j.Release, weight: j.Weight})
+	}
+	out, err := finish()
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		totalFlow, weightedFlow, maxFlow float64
+		rejectedWeight, makespan         float64
+	)
+	for _, f := range facts {
+		c, ok := out.Completed[f.id]
+		if !ok {
+			c = out.Rejected[f.id]
+			rejectedWeight += f.weight
+		}
+		fl := c - f.release
+		totalFlow += fl
+		weightedFlow += f.weight * fl
+		if fl > maxFlow {
+			maxFlow = fl
+		}
+	}
+	for _, iv := range out.Intervals {
+		if iv.End > makespan {
+			makespan = iv.End
+		}
+	}
+
+	t := stats.NewTable(fmt.Sprintf("schedsim: %s streaming %s (n=%d, m=%d)", policy, name, len(facts), r.Machines()),
+		"metric", "value")
+	t.AddRowf("total flow", totalFlow)
+	t.AddRowf("weighted flow", weightedFlow)
+	if len(facts) > 0 {
+		t.AddRowf("mean flow", totalFlow/float64(len(facts)))
+	}
+	t.AddRowf("max flow", maxFlow)
+	t.AddRowf("completed", len(out.Completed))
+	t.AddRowf("rejected", len(out.Rejected))
+	t.AddRowf("rejected weight", rejectedWeight)
+	t.AddRowf("makespan", makespan)
+	fmt.Println(t)
+
+	if dump != "" {
+		f, err := os.Create(dump)
 		if err != nil {
 			fatal(err)
 		}

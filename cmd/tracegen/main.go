@@ -7,6 +7,10 @@
 //	tracegen -kind pareto -load 1.2             > heavy.json
 //	tracegen -kind deadline -horizon 200        > deadline.json
 //	tracegen -kind lemma1 -L 32                 > adversarial.json
+//	tracegen -ndjson -n 100000                  > stream.ndjson
+//
+// With -ndjson the trace is written in the streaming NDJSON format
+// consumed by schedsim -stream (one header line, then one job per line).
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		slack    = flag.Float64("slack", 2, "deadline slack factor (deadline workloads)")
 		l        = flag.Float64("L", 16, "big-job length (lemma1 workloads; Δ=L²)")
 		eps      = flag.Float64("eps", 0.5, "epsilon (lemma1 workloads)")
+		ndjson   = flag.Bool("ndjson", false, "write the streaming NDJSON format (for schedsim -stream)")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -76,7 +81,11 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteInstance(w, ins); err != nil {
+	write := trace.WriteInstance
+	if *ndjson {
+		write = trace.WriteInstanceNDJSON
+	}
+	if err := write(w, ins); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

@@ -8,8 +8,9 @@
 //
 //   - cmd/schedbench — regenerate every experiment table/figure
 //   - cmd/tracegen, cmd/schedsim — generate workload traces and replay them
-//     under any implemented policy
-//   - examples/* — five runnable scenarios built on the library API
+//     under any implemented policy, in batch or streaming (-stream, NDJSON)
+//     form
+//   - examples/* — six runnable scenarios built on the library API
 //
 // The benchmarks in bench_test.go (this package) drive the experiment suite
 // through `go test -bench`, one benchmark per table/figure of

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E14", Kind: "table",
+		Title: "Streaming throughput: sharded engine sessions",
+		Claim: "design: the engine session scales out across independent shards",
+		Run:   runE14,
+	})
+}
+
+// runE14 measures the streaming ingestion path end to end: jobs flow from a
+// generated workload through engine.Shard into K independent flowtime
+// sessions (each a scale-out unit of m machines), exactly the schedsim
+// -stream pipeline minus the JSON decode. Reported per shard count: wall
+// time, ingested jobs/sec, allocs/job and speedup over one shard. Every
+// fed job must come back completed or rejected across the shard outcomes.
+func runE14(cfg Config) (fmt.Stringer, error) {
+	n := cfg.scale(60000, 4000)
+	const m = 8
+	c := workload.DefaultConfig(n, m, 7)
+	c.Load = 1.2
+	ins := workload.Random(c)
+
+	t := stats.NewTable(fmt.Sprintf("E14 — streaming shard throughput (n=%d, m=%d per shard, ε=0.2)", n, m),
+		"shards", "wall ms", "jobs/sec", "allocs/job", "speedup", "jobs ok")
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		sessions := make([]*flowtime.Session, shards)
+		feeders := make([]engine.Feeder, shards)
+		for k := range sessions {
+			s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2})
+			if err != nil {
+				return nil, err
+			}
+			sessions[k] = s
+			feeders[k] = s
+		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		sh := engine.NewShard(feeders, nil, 0)
+		for k := range ins.Jobs {
+			if err := sh.Feed(ins.Jobs[k]); err != nil {
+				return nil, err
+			}
+		}
+		if err := sh.Wait(); err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, s := range sessions {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			done += len(res.Outcome.Completed) + len(res.Outcome.Rejected)
+		}
+		el := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
+		if done != n {
+			return nil, fmt.Errorf("E14: %d jobs accounted with %d shards, want %d", done, shards, n)
+		}
+		jobsPerSec := float64(n) / el.Seconds()
+		if shards == 1 {
+			base = jobsPerSec
+		}
+		allocs := float64(msAfter.Mallocs - msBefore.Mallocs)
+		t.AddRowf(shards, float64(el.Microseconds())/1000,
+			jobsPerSec, allocs/float64(n), jobsPerSec/base,
+			okMark(done == n))
+	}
+	return t, nil
+}

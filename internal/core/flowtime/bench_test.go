@@ -28,6 +28,32 @@ func BenchmarkRun10kJobsDualTracked(b *testing.B) {
 	benchRun(b, 10000, 4, 0.2, true)
 }
 
+// BenchmarkStreamSession measures the streaming ingestion path: the same
+// 10k-job workload as BenchmarkRun10kJobs4Machines fed through a Session
+// without a size hint, so every per-job table grows on demand — the cost a
+// schedsim -stream consumer pays over batch Run.
+func BenchmarkStreamSession(b *testing.B) {
+	cfg := workload.DefaultConfig(10000, 4, 3)
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ins.Machines, Options{Epsilon: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := range ins.Jobs {
+			if err := s.Feed(ins.Jobs[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDispatchPath isolates the λ evaluation (RankStats over m treaps)
 // by running a workload whose jobs all arrive before any completes.
 func BenchmarkDispatchPath(b *testing.B) {

@@ -48,24 +48,24 @@ func (o OccupancyTrace) At(t float64) int {
 	return o.Occ[k-1]
 }
 
-func (s *state) buildDualReport() *DualReport {
-	n := s.idx.Len()
+func (p *policy) buildDualReport() *DualReport {
+	n := p.c.NumJobs()
 	r := &DualReport{
-		Epsilon: s.opt.Epsilon,
+		Epsilon: p.opt.Epsilon,
 		Lambda:  make(map[int]float64, n),
 		CTilde:  make(map[int]float64, n),
 	}
 	// The run keeps λ_j and C̃_j in dense slices; the report exposes them by
 	// job id.
 	for k := 0; k < n; k++ {
-		id := s.idx.ID(k)
-		r.Lambda[id] = s.lambda[k]
-		r.CTilde[id] = s.ctilde[k]
-		r.LambdaSum += s.lambda[k]
+		id := p.c.ID(k)
+		r.Lambda[id] = p.lambda[k]
+		r.CTilde[id] = p.ctilde[k]
+		r.LambdaSum += p.lambda[k]
 	}
-	eps := s.opt.Epsilon
-	for i := range s.mach {
-		m := &s.mach[i]
+	eps := p.opt.Epsilon
+	for i := range p.mach {
+		m := &p.mach[i]
 		r.BetaIntegral += eps / ((1 + eps) * (1 + eps)) * m.occInt
 		r.Machines = append(r.Machines, OccupancyTrace{Times: m.bpTimes, Occ: m.bpValues})
 	}

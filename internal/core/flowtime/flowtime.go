@@ -22,20 +22,23 @@
 // β_i(t) = ε/(1+ε)²·(|U_i(t)|+|V_i(t)|) — so tests can verify Lemma 4
 // (dual feasibility) and the end-to-end competitive bound numerically.
 //
-// Hot-path layout: per-job state lives in dense slices indexed by the
-// compact sched.Index, events carry compact indices, and the machine-
-// selection argmin is sharded across the internal/dispatch worker pool for
-// wide instances (Options.ParallelDispatch), with outputs bit-identical to
-// the sequential scan.
+// The event-loop mechanics (queue wiring, run-state version guards, outcome
+// recording, end-of-run audit) live in internal/engine; this package is the
+// engine Policy carrying the three rules above. Run executes a batch
+// instance; Session (see session.go) streams jobs online with bit-identical
+// outcomes. Hot-path layout as before: per-job state lives in dense slices
+// indexed by the compact feed-order index, and the machine-selection argmin
+// is sharded across the internal/dispatch worker pool for wide instances
+// (Options.ParallelDispatch), with outputs bit-identical to the sequential
+// scan.
 package flowtime
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/dispatch"
-	"repro/internal/eventq"
+	"repro/internal/engine"
 	"repro/internal/ostree"
 	"repro/internal/sched"
 )
@@ -90,17 +93,12 @@ type Result struct {
 	Dual *DualReport
 }
 
-// machine is the per-machine online state.
+// machine is the per-machine policy state (the engine owns the run state).
 type machine struct {
 	pending *ostree.Tree // dispatched, not yet started (U_i \ {running})
 
-	running    int     // compact job index, -1 when idle
-	runStart   float64 // start time of the running job
-	runProc    float64 // p_ij of the running job on this machine
-	runSeq     int     // version guard for completion events
-	runVictims int     // Rule 1 counter v_k for the running job
-
-	counter int // Rule 2 counter c_i
+	runVictims int // Rule 1 counter v_k for the running job
+	counter    int // Rule 2 counter c_i
 
 	// remnantAcc accumulates the Rule 1 remnants q_ik(r_{j_k}) on this
 	// machine. A job's C̃ correction is remnantAcc(at finish) minus its
@@ -132,25 +130,22 @@ func (m *machine) occChange(t float64, delta int, track bool) {
 	}
 }
 
-type state struct {
-	ins  *sched.Instance
+// policy implements engine.Policy with the §2 dispatch and rejection rules.
+type policy struct {
+	c    *engine.Core
 	opt  Options
-	out  *sched.Outcome
 	res  *Result
-	q    eventq.Queue
 	mach []machine
-	idx  *sched.Index
-	// Dense per-job state, indexed by compact job index. snap holds each
-	// dispatched job's snapshot of its machine's remnantAcc (see
-	// machine.remnantAcc); ctilde the definitive-finish times; lambda the
-	// dual λ_j assignments.
+	// Dense per-job state, indexed by compact job index; grows as jobs are
+	// fed. snap holds each dispatched job's snapshot of its machine's
+	// remnantAcc (see machine.remnantAcc); ctilde the definitive-finish
+	// times; lambda the dual λ_j assignments.
 	snap   []float64
 	ctilde []float64
 	lambda []float64
 	pool   *dispatch.Pool
 	curJob *sched.Job        // job under dispatch, read by the argmin eval
 	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
-	seq    int
 	r1, r2 int
 	// track mirrors opt.TrackDual: when false, the λ/C̃/occupancy dual
 	// bookkeeping — including the per-job C̃ exit events, a third of all
@@ -159,181 +154,141 @@ type state struct {
 	track bool
 }
 
-// Run executes the algorithm on the instance and returns the audited result.
-func Run(ins *sched.Instance, opt Options) (*Result, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	n := len(ins.Jobs)
-	s := &state{
-		ins:   ins,
+// newPolicy builds the policy for the given machine count; hint preallocates
+// per-job state for a batch run of about that many jobs.
+func newPolicy(opt Options, machines, hint int) *policy {
+	p := &policy{
 		opt:   opt,
-		out:   sched.NewOutcomeSized(n),
-		idx:   ins.Index(),
+		res:   &Result{},
 		r1:    opt.Rule1Threshold(),
 		r2:    opt.Rule2Threshold(),
 		track: opt.TrackDual,
 	}
-	if s.track {
-		s.snap = make([]float64, n)
-		s.ctilde = make([]float64, n)
-		s.lambda = make([]float64, n)
+	if p.track {
+		p.snap = make([]float64, 0, hint)
+		p.ctilde = make([]float64, 0, hint)
+		p.lambda = make([]float64, 0, hint)
 	}
-	s.res = &Result{Outcome: s.out}
-	s.mach = make([]machine, ins.Machines)
-	for i := range s.mach {
-		s.mach[i] = machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37), running: -1}
+	p.mach = make([]machine, machines)
+	for i := range p.mach {
+		p.mach[i] = machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37)}
 	}
-	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
-	defer s.pool.Close()
-	s.evalFn = s.evalCur
-
-	arrivals := make([]eventq.Event, n)
-	for k := range ins.Jobs {
-		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
-	}
-	s.q.Init(arrivals)
-	// Completions reuse the capacity freed by popped arrivals; only the dual
-	// bookkeeping events (one extra per job) and per-machine completions can
-	// outgrow it.
-	if s.track {
-		s.q.Grow(n)
-	} else {
-		s.q.Grow(ins.Machines)
-	}
-	for s.q.Len() > 0 {
-		e := s.q.Pop()
-		switch e.Kind {
-		case eventq.KindArrival:
-			s.handleArrival(e.Time, int(e.Job))
-		case eventq.KindCompletion:
-			s.handleCompletion(e)
-		case eventq.KindBookkeeping:
-			s.mach[e.Machine].occChange(e.Time, -1, opt.TrackDual)
-		}
-	}
-	if opt.TrackDual {
-		s.res.Dual = s.buildDualReport()
-	}
-	if err := s.sanity(); err != nil {
-		return nil, err
-	}
-	return s.res, nil
+	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
+	p.evalFn = p.evalCur
+	return p
 }
 
-var errInternal = errors.New("flowtime: internal invariant violated")
+func (p *policy) Bind(c *engine.Core) { p.c = c }
 
-func (s *state) sanity() error {
-	for i := range s.mach {
-		m := &s.mach[i]
+func (p *policy) Close() { p.pool.Close() }
+
+func (p *policy) Audit() error {
+	for i := range p.mach {
+		m := &p.mach[i]
 		if m.occ != 0 {
-			return fmt.Errorf("%w: machine %d dual occupancy %d at end of run", errInternal, i, m.occ)
+			return fmt.Errorf("flowtime: internal invariant violated: machine %d dual occupancy %d at end of run", i, m.occ)
 		}
-		if m.running != -1 || m.pending.Len() != 0 {
-			return fmt.Errorf("%w: machine %d still busy at end of run", errInternal, i)
+		if m.pending.Len() != 0 {
+			return fmt.Errorf("flowtime: internal invariant violated: machine %d still has pending jobs at end of run", i)
 		}
-	}
-	if got := len(s.out.Completed) + len(s.out.Rejected); got != len(s.ins.Jobs) {
-		return fmt.Errorf("%w: %d jobs accounted, want %d", errInternal, got, len(s.ins.Jobs))
 	}
 	return nil
 }
 
-func (s *state) key(j *sched.Job, i int) ostree.Key {
+// growDual extends the dense dual slices to cover compact index jk.
+func (p *policy) growDual(jk int) {
+	for len(p.snap) <= jk {
+		p.snap = append(p.snap, 0)
+		p.ctilde = append(p.ctilde, 0)
+		p.lambda = append(p.lambda, 0)
+	}
+}
+
+func (p *policy) key(j *sched.Job, i int) ostree.Key {
 	return ostree.Key{P: j.Proc[i], Release: j.Release, ID: j.ID}
 }
 
 // lambdaFor evaluates λ_ij for a hypothetical dispatch of j to machine i. It
 // only reads per-machine state, so the dispatch pool may call it
 // concurrently for distinct machines.
-func (s *state) lambdaFor(j *sched.Job, i int) float64 {
-	p := j.Proc[i]
-	_, sumBefore, after := s.mach[i].pending.RankStats(s.key(j, i))
-	return p/s.opt.Epsilon + (sumBefore + p) + float64(after)*p
+func (p *policy) lambdaFor(j *sched.Job, i int) float64 {
+	pp := j.Proc[i]
+	_, sumBefore, after := p.mach[i].pending.RankStats(p.key(j, i))
+	return pp/p.opt.Epsilon + (sumBefore + pp) + float64(after)*pp
 }
 
 // evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
 // stashed in curJob; bound once per run as evalFn, since evaluating a
 // method value allocates.
-func (s *state) evalCur(i int) float64 { return s.lambdaFor(s.curJob, i) }
+func (p *policy) evalCur(i int) float64 { return p.lambdaFor(p.curJob, i) }
 
-func (s *state) handleArrival(t float64, jk int) {
-	j := s.idx.Job(jk)
+func (p *policy) OnArrival(t float64, jk int) {
+	j := p.c.Job(jk)
 	// Dispatch: argmin λ_ij, ties to the lowest machine index.
-	s.curJob = j
-	best, bestLambda := s.pool.ArgMin(s.evalFn)
-	m := &s.mach[best]
-	s.out.Assigned[j.ID] = best
-	s.res.Dispatches++
-	if s.track {
-		s.lambda[jk] = s.opt.Epsilon / (1 + s.opt.Epsilon) * bestLambda
+	p.curJob = j
+	best, bestLambda := p.pool.ArgMin(p.evalFn)
+	m := &p.mach[best]
+	p.c.Assign(jk, best)
+	p.res.Dispatches++
+	if p.track {
+		// Grow to cover jk rather than appending: releases may decrease
+		// within sched.Eps, so the arrival pop order can locally differ
+		// from the feed order that assigned jk.
+		p.growDual(jk)
+		p.lambda[jk] = p.opt.Epsilon / (1 + p.opt.Epsilon) * bestLambda
 		m.occChange(t, +1, true) // j enters U_best
-		s.snap[jk] = m.remnantAcc
+		p.snap[jk] = m.remnantAcc
 	}
-	m.pending.Insert(s.key(j, best))
+	m.pending.Insert(p.key(j, best))
 	m.counter++
 
 	// Rejection Rule 1: count the dispatch against the running job.
-	if m.running != -1 && !s.opt.DisableRule1 {
+	if !p.c.Machine(best).Idle() && !p.opt.DisableRule1 {
 		m.runVictims++
-		if m.runVictims >= s.r1 {
-			s.rejectRunning(best, t)
+		if m.runVictims >= p.r1 {
+			p.rejectRunning(best, t)
 		}
 	}
-	if m.running == -1 {
-		s.startNext(best, t)
+	if p.c.Machine(best).Idle() {
+		p.startNext(best, t)
 	}
 	// Rejection Rule 2: reject the largest pending job at the threshold.
-	if m.counter >= s.r2 && !s.opt.DisableRule2 {
+	if m.counter >= p.r2 && !p.opt.DisableRule2 {
 		m.counter = 0
-		s.rejectLargestPending(best, t, j)
+		p.rejectLargestPending(best, t, j)
 	}
 }
 
 // rejectRunning applies Rule 1 at time t: interrupt and reject the running
 // job of machine i, distribute its remnant q to the C̃ accumulators of every
 // job currently in U_i, and restart the machine.
-func (s *state) rejectRunning(i int, t float64) {
-	m := &s.mach[i]
-	k := m.running
-	elapsed := t - m.runStart
-	q := m.runProc - elapsed
-	if q < 0 {
-		q = 0
-	}
-	if elapsed > sched.Eps {
-		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: s.idx.ID(k), Machine: i, Start: m.runStart, End: t, Speed: 1,
-		})
-	}
-	s.out.Rejected[s.idx.ID(k)] = t
-	s.res.Rule1Rejections++
-	if s.track {
+func (p *policy) rejectRunning(i int, t float64) {
+	m := &p.mach[i]
+	k, q := p.c.RejectRunning(i, t)
+	p.res.Rule1Rejections++
+	if p.track {
 		// D_x gains k for every x ∈ U_i(t), including k itself: bump the
 		// machine accumulator before finishing k so k's own C̃ includes q.
 		m.remnantAcc += q
-		s.finish(i, k, t, 0) // k leaves U_i for V_i until C̃_k
+		p.finish(i, k, t, 0) // k leaves U_i for V_i until C̃_k
 	}
-	m.running = -1
 	m.runVictims = 0
-	s.startNext(i, t)
+	p.startNext(i, t)
 }
 
 // rejectLargestPending applies Rule 2 at time t (triggered by the arrival of
 // job trigger): reject the pending job of machine i with the largest
 // processing time, if any.
-func (s *state) rejectLargestPending(i int, t float64, trigger *sched.Job) {
-	m := &s.mach[i]
+func (p *policy) rejectLargestPending(i int, t float64, trigger *sched.Job) {
+	m := &p.mach[i]
 	key, ok := m.pending.DeleteMax()
 	if !ok {
 		return // all recent dispatches started immediately; nothing queued
 	}
-	s.out.Rejected[key.ID] = t
-	s.res.Rule2Rejections++
-	if !s.track {
+	jk := p.c.IndexOf(key.ID)
+	p.c.RejectPending(jk, t)
+	p.res.Rule2Rejections++
+	if !p.track {
 		return
 	}
 	// Rule 2 term of C̃: the wait the rejected job is spared — the running
@@ -341,9 +296,10 @@ func (s *state) rejectLargestPending(i int, t float64, trigger *sched.Job) {
 	// triggering arrival), and its own processing time.
 	var term float64
 	runningID := -1
-	if m.running != -1 {
-		term += m.runProc - (t - m.runStart)
-		runningID = s.idx.ID(m.running)
+	ms := p.c.Machine(i)
+	if !ms.Idle() {
+		term += ms.RunVol - (t - ms.RunStart)
+		runningID = p.c.ID(int(ms.Running))
 	}
 	others := m.pending.SumP()
 	// The triggering arrival was dispatched here; it is still pending
@@ -353,50 +309,39 @@ func (s *state) rejectLargestPending(i int, t float64, trigger *sched.Job) {
 		others -= trigger.Proc[i]
 	}
 	term += others + key.P
-	s.finish(i, s.idx.Of(key.ID), t, term)
+	p.finish(i, jk, t, term)
 }
 
 // finish moves the job with compact index jk from U_i to V_i at time t and
 // schedules its exit from V_i at the definitive-finish time C̃ = t +
 // accumulated Rule 1 remnants + the Rule 2 term (zero except for
 // Rule-2-rejected jobs).
-func (s *state) finish(i, jk int, t, rule2Term float64) {
-	ct := t + (s.mach[i].remnantAcc - s.snap[jk]) + rule2Term
-	s.ctilde[jk] = ct
-	s.q.Push(eventq.Event{Time: ct, Kind: eventq.KindBookkeeping, Job: int32(jk), Machine: int32(i)})
+func (p *policy) finish(i, jk int, t, rule2Term float64) {
+	ct := t + (p.mach[i].remnantAcc - p.snap[jk]) + rule2Term
+	p.ctilde[jk] = ct
+	p.c.Bookkeep(ct, i, jk)
 }
 
 // startNext starts the SPT-first pending job on the idle machine i.
-func (s *state) startNext(i int, t float64) {
-	m := &s.mach[i]
+func (p *policy) startNext(i int, t float64) {
+	m := &p.mach[i]
 	key, ok := m.pending.DeleteMin()
 	if !ok {
 		return
 	}
-	jk := s.idx.Of(key.ID)
-	m.running = jk
-	m.runStart = t
-	m.runProc = key.P
 	m.runVictims = 0
-	s.seq++
-	m.runSeq = s.seq
-	s.q.Push(eventq.Event{Time: t + key.P, Kind: eventq.KindCompletion, Job: int32(jk), Machine: int32(i), Version: int32(s.seq)})
+	p.c.Start(i, t, p.c.IndexOf(key.ID), key.P, 1)
 }
 
-func (s *state) handleCompletion(e eventq.Event) {
-	m := &s.mach[e.Machine]
-	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
-		return // stale: the execution was interrupted by Rule 1
+func (p *policy) OnCompletion(t float64, i, jk int) {
+	if p.track {
+		p.finish(i, jk, t, 0)
 	}
-	id := s.idx.ID(int(e.Job))
-	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
-	})
-	s.out.Completed[id] = e.Time
-	if s.track {
-		s.finish(int(e.Machine), int(e.Job), e.Time, 0)
-	}
-	m.running = -1
-	m.runVictims = 0
-	s.startNext(int(e.Machine), e.Time)
+	p.mach[i].runVictims = 0
+}
+
+func (p *policy) OnIdle(t float64, i int) { p.startNext(i, t) }
+
+func (p *policy) OnBookkeeping(t float64, i, jk int) {
+	p.mach[i].occChange(t, -1, p.track)
 }

@@ -1,0 +1,88 @@
+package flowtime
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Session is a streaming run of the §2 algorithm: jobs are fed one at a
+// time in release order and scheduled online, with no knowledge of the
+// future — exactly the model the paper analyzes. A session with the same
+// options produces an Outcome bit-identical to a batch Run over the same
+// jobs (pinned by the equivalence tests in stream_test.go).
+type Session struct {
+	es *engine.Session
+	p  *policy
+}
+
+// NewSession starts a streaming run on the given number of machines.
+func NewSession(machines int, opt Options) (*Session, error) {
+	return newSession(machines, opt, 0)
+}
+
+func newSession(machines int, opt Options, hint int) (*Session, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if machines <= 0 {
+		return nil, fmt.Errorf("flowtime: session needs at least one machine, got %d", machines)
+	}
+	p := newPolicy(opt, machines, hint)
+	eh := 0
+	if opt.TrackDual && hint > 0 {
+		eh = 2*hint + machines + 1 // one C̃ exit event per job on top of arrivals
+	}
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventHint: eh})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return &Session{es: es, p: p}, nil
+}
+
+// Feed admits the next job of the stream (releases must be non-decreasing)
+// and advances the simulation as far as the fed releases allow.
+func (s *Session) Feed(j sched.Job) error { return s.es.Feed(j) }
+
+// AdvanceTo declares that no job released before t will ever be fed and
+// advances the simulation through time t.
+func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
+
+// Close drains the run to completion and returns the audited result.
+func (s *Session) Close() (*Result, error) {
+	out, err := s.es.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := s.p.res
+	res.Outcome = out
+	if s.p.track {
+		res.Dual = s.p.buildDualReport()
+	}
+	return res, nil
+}
+
+// Run executes the algorithm on the instance and returns the audited
+// result. It is a thin wrapper over a Session fed from the instance's job
+// slice, with storage preallocated for the known size.
+func Run(ins *sched.Instance, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSession(ins.Machines, opt, len(ins.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	for k := range ins.Jobs {
+		if err := s.Feed(ins.Jobs[k]); err != nil {
+			s.Close() // release the dispatch pool; the feed error wins
+			return nil, err
+		}
+	}
+	return s.Close()
+}

@@ -1,0 +1,93 @@
+package speedscale
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Session is a streaming run of the §3 algorithm: jobs are fed one at a
+// time in release order and scheduled online. A session with the same
+// options produces an Outcome bit-identical to a batch Run over the same
+// jobs (pinned by the equivalence tests in stream_test.go). Because a
+// stream has no instance to fall back on, Options.Alpha must be set
+// explicitly.
+type Session struct {
+	es *engine.Session
+	p  *spolicy
+}
+
+// NewSession starts a streaming run on the given number of machines.
+func NewSession(machines int, opt Options) (*Session, error) {
+	return newSession(machines, opt, 0)
+}
+
+func newSession(machines int, opt Options, hint int) (*Session, error) {
+	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
+		return nil, fmt.Errorf("speedscale: epsilon must be in (0,1), got %v", opt.Epsilon)
+	}
+	if !(opt.Alpha > 1) {
+		return nil, fmt.Errorf("speedscale: alpha must exceed 1, got %v", opt.Alpha)
+	}
+	gamma := opt.Gamma
+	if gamma == 0 {
+		gamma = DefaultGamma(opt.Epsilon, opt.Alpha)
+	}
+	if !(gamma > 0) {
+		return nil, fmt.Errorf("speedscale: gamma must be positive, got %v", gamma)
+	}
+	if machines <= 0 {
+		return nil, fmt.Errorf("speedscale: session needs at least one machine, got %d", machines)
+	}
+	p := newPolicy(opt, opt.Alpha, gamma, machines, hint)
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return &Session{es: es, p: p}, nil
+}
+
+// Feed admits the next job of the stream (releases must be non-decreasing)
+// and advances the simulation as far as the fed releases allow.
+func (s *Session) Feed(j sched.Job) error { return s.es.Feed(j) }
+
+// AdvanceTo declares that no job released before t will ever be fed and
+// advances the simulation through time t.
+func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
+
+// Close drains the run to completion and returns the audited result.
+func (s *Session) Close() (*Result, error) {
+	out, err := s.es.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := s.p.res
+	res.Outcome = out
+	res.Dual = s.p.dual
+	return res, nil
+}
+
+// Run executes the algorithm on the instance: a thin wrapper over a Session
+// fed from the instance's job slice, with Alpha resolved from the instance
+// when Options.Alpha is zero.
+func Run(ins *sched.Instance, opt Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = ins.Alpha
+	}
+	s, err := newSession(ins.Machines, opt, len(ins.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	for k := range ins.Jobs {
+		if err := s.Feed(ins.Jobs[k]); err != nil {
+			s.Close() // release the dispatch pool; the feed error wins
+			return nil, err
+		}
+	}
+	return s.Close()
+}

@@ -24,6 +24,11 @@
 // (ε/(1+ε))^(1/(α−1)) when α−1+ln(α−1) ≤ 0 (α ≲ 1.567), where the paper's
 // expression is undefined; any γ > 0 preserves correctness of the schedule,
 // only the proven ratio constant changes.
+//
+// The event-loop mechanics live in internal/engine; this package is the
+// engine Policy carrying the speed-scaled service and rejection rules,
+// runnable in batch (Run) or streaming (Session) form with bit-identical
+// outcomes.
 package speedscale
 
 import (
@@ -32,7 +37,7 @@ import (
 	"sort"
 
 	"repro/internal/dispatch"
-	"repro/internal/eventq"
+	"repro/internal/engine"
 	"repro/internal/sched"
 )
 
@@ -41,7 +46,8 @@ type Options struct {
 	// Epsilon ∈ (0,1): rejected weight budget fraction.
 	Epsilon float64
 	// Alpha > 1: power exponent (overrides the instance's Alpha when set;
-	// if zero, the instance's Alpha is used).
+	// if zero, Run uses the instance's Alpha. Streaming sessions have no
+	// instance, so NewSession requires Alpha to be set explicitly).
 	Alpha float64
 	// Gamma > 0 overrides the paper's speed constant; 0 selects DefaultGamma.
 	Gamma float64
@@ -82,9 +88,9 @@ type Result struct {
 	Dual *DualReport
 }
 
-// pitem is one pending job; id is the compact job index (sched.Index), the
-// same key space events and smachine.running use, so the hypothetical merge
-// in lambdaFor and the real insert order can never disagree.
+// pitem is one pending job; id is the compact job index (feed order), the
+// same key space events and the engine's run state use, so the hypothetical
+// merge in lambdaFor and the real insert order can never disagree.
 type pitem struct {
 	id      int // compact job index
 	w, p    float64
@@ -102,16 +108,11 @@ func pless(a, b pitem) bool {
 	return a.id < b.id
 }
 
+// smachine is the per-machine policy state (the engine owns the run state).
 type smachine struct {
 	pending []pitem // density order
 
-	running  int // compact job index, -1 idle
-	runStart float64
-	runSpeed float64
-	runVol   float64
-	runW     float64
-	runSeq   int
-	victimW  float64 // v_k, accumulated dispatched weight
+	victimW float64 // v_k, accumulated dispatched weight
 
 	// remTimeAcc accumulates rejection remnant times q_k/s_k (lazy C̃
 	// bookkeeping, cf. internal/core/flowtime).
@@ -125,17 +126,14 @@ func (m *smachine) insert(it pitem) {
 	m.pending[k] = it
 }
 
-type sstate struct {
-	ins   *sched.Instance
+// spolicy implements engine.Policy with the §3 rules.
+type spolicy struct {
+	c     *engine.Core
 	opt   Options
 	alpha float64
 	gamma float64
-	out   *sched.Outcome
 	res   *Result
-	q     eventq.Queue
 	mach  []smachine
-	idx   *sched.Index
-	seq   int
 	// snap holds per-job dispatch-time snapshots of the machine remnant
 	// accumulator, indexed by compact job index. Like the accumulators it
 	// snapshots, it only exists under TrackDual: its sole consumers are the
@@ -148,78 +146,39 @@ type sstate struct {
 	dual   *DualReport
 }
 
-// Run executes the algorithm on the instance.
-func Run(ins *sched.Instance, opt Options) (*Result, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
-		return nil, fmt.Errorf("speedscale: epsilon must be in (0,1), got %v", opt.Epsilon)
-	}
-	alpha := opt.Alpha
-	if alpha == 0 {
-		alpha = ins.Alpha
-	}
-	if !(alpha > 1) {
-		return nil, fmt.Errorf("speedscale: alpha must exceed 1, got %v", alpha)
-	}
-	gamma := opt.Gamma
-	if gamma == 0 {
-		gamma = DefaultGamma(opt.Epsilon, alpha)
-	}
-	if !(gamma > 0) {
-		return nil, fmt.Errorf("speedscale: gamma must be positive, got %v", gamma)
-	}
-	n := len(ins.Jobs)
-	s := &sstate{
-		ins: ins, opt: opt, alpha: alpha, gamma: gamma,
-		out: sched.NewOutcomeSized(n),
-		idx: ins.Index(),
-	}
+func newPolicy(opt Options, alpha, gamma float64, machines, hint int) *spolicy {
+	p := &spolicy{opt: opt, alpha: alpha, gamma: gamma}
+	p.res = &Result{Gamma: gamma, Alpha: alpha}
 	if opt.TrackDual {
-		s.snap = make([]float64, n)
+		p.snap = make([]float64, 0, hint)
+		p.dual = newDualReport(opt.Epsilon, alpha, gamma)
 	}
-	s.res = &Result{Outcome: s.out, Gamma: gamma, Alpha: alpha}
-	if opt.TrackDual {
-		s.dual = newDualReport(opt.Epsilon, alpha, gamma)
-	}
-	s.mach = make([]smachine, ins.Machines)
-	for i := range s.mach {
-		s.mach[i] = smachine{running: -1}
-	}
-	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
-	defer s.pool.Close()
-	s.evalFn = s.evalCur
+	p.mach = make([]smachine, machines)
+	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
+	p.evalFn = p.evalCur
+	return p
+}
 
-	arrivals := make([]eventq.Event, n)
-	for k := range ins.Jobs {
-		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
-	}
-	s.q.Init(arrivals)
-	s.q.Grow(ins.Machines) // completions otherwise reuse popped-arrival capacity
-	for s.q.Len() > 0 {
-		e := s.q.Pop()
-		switch e.Kind {
-		case eventq.KindArrival:
-			s.handleArrival(e.Time, int(e.Job))
-		case eventq.KindCompletion:
-			s.handleCompletion(e)
+func (p *spolicy) Bind(c *engine.Core) { p.c = c }
+
+func (p *spolicy) Close() { p.pool.Close() }
+
+func (p *spolicy) Audit() error {
+	for i := range p.mach {
+		if len(p.mach[i].pending) != 0 {
+			return fmt.Errorf("speedscale: internal invariant violated: machine %d still has pending jobs at end of run", i)
 		}
 	}
-	if got := len(s.out.Completed) + len(s.out.Rejected); got != n {
-		return nil, fmt.Errorf("speedscale: internal: %d jobs accounted, want %d", got, n)
-	}
-	s.res.Dual = s.dual
-	return s.res, nil
+	return nil
 }
 
 // lambdaFor evaluates λ_ij for a hypothetical dispatch of job jk to machine
 // i. One backwards pass accumulates the suffix weights W_ℓ = Σ_{ℓ'⪰ℓ} w_ℓ'.
 // Read-only, safe for concurrent machine shards.
-func (s *sstate) lambdaFor(j *sched.Job, jk, i int) float64 {
-	m := &s.mach[i]
-	p, w := j.Proc[i], j.Weight
-	it := pitem{id: jk, w: w, p: p, density: w / p, release: j.Release}
+func (p *spolicy) lambdaFor(j *sched.Job, jk, i int) float64 {
+	m := &p.mach[i]
+	pp, w := j.Proc[i], j.Weight
+	it := pitem{id: jk, w: w, p: pp, density: w / pp, release: j.Release}
 
 	// Suffix pass over pending ∪ {j} in reverse density order.
 	var sumAfterW float64   // Σ_{ℓ≻j} w_ℓ
@@ -231,11 +190,11 @@ func (s *sstate) lambdaFor(j *sched.Job, jk, i int) float64 {
 		suffix += e.w
 		if e.id == jk {
 			wj = suffix
-			sumPrefTime += e.p / (s.gamma * math.Pow(suffix, 1/s.alpha))
+			sumPrefTime += e.p / (p.gamma * math.Pow(suffix, 1/p.alpha))
 			placedSelf = true
 		} else if placedSelf {
 			// e precedes j (we iterate in reverse order)
-			sumPrefTime += e.p / (s.gamma * math.Pow(suffix, 1/s.alpha))
+			sumPrefTime += e.p / (p.gamma * math.Pow(suffix, 1/p.alpha))
 		} else {
 			sumAfterW += e.w
 		}
@@ -250,64 +209,61 @@ func (s *sstate) lambdaFor(j *sched.Job, jk, i int) float64 {
 	for ; k >= 0; k-- {
 		handle(m.pending[k])
 	}
-	return w*(p/s.opt.Epsilon+sumPrefTime) + sumAfterW*p/(s.gamma*math.Pow(wj, 1/s.alpha))
+	return w*(pp/p.opt.Epsilon+sumPrefTime) + sumAfterW*pp/(p.gamma*math.Pow(wj, 1/p.alpha))
 }
 
 // evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
 // stashed in curJob; bound once per run as evalFn, since evaluating a
 // method value allocates.
-func (s *sstate) evalCur(i int) float64 { return s.lambdaFor(s.curJob, s.curIdx, i) }
+func (p *spolicy) evalCur(i int) float64 { return p.lambdaFor(p.curJob, p.curIdx, i) }
 
-func (s *sstate) handleArrival(t float64, jk int) {
-	j := s.idx.Job(jk)
-	s.curJob, s.curIdx = j, jk
-	best, bestLambda := s.pool.ArgMin(s.evalFn)
-	m := &s.mach[best]
-	s.out.Assigned[j.ID] = best
-	if s.dual != nil {
-		s.snap[jk] = m.remTimeAcc
-		s.dual.noteDispatch(j, best, s.opt.Epsilon/(1+s.opt.Epsilon)*bestLambda)
+func (p *spolicy) OnArrival(t float64, jk int) {
+	j := p.c.Job(jk)
+	p.curJob, p.curIdx = j, jk
+	best, bestLambda := p.pool.ArgMin(p.evalFn)
+	m := &p.mach[best]
+	p.c.Assign(jk, best)
+	if p.dual != nil {
+		// Grow to cover jk rather than appending: releases may decrease
+		// within sched.Eps, so the arrival pop order can locally differ
+		// from the feed order that assigned jk.
+		for len(p.snap) <= jk {
+			p.snap = append(p.snap, 0)
+		}
+		p.snap[jk] = m.remTimeAcc
+		p.dual.noteDispatch(j, best, p.opt.Epsilon/(1+p.opt.Epsilon)*bestLambda)
 	}
 	m.insert(pitem{id: jk, w: j.Weight, p: j.Proc[best], density: j.Weight / j.Proc[best], release: j.Release})
 
-	if m.running != -1 {
+	ms := p.c.Machine(best)
+	if !ms.Idle() {
 		m.victimW += j.Weight
-		if m.victimW > m.runW/s.opt.Epsilon {
-			s.rejectRunning(best, t)
+		if m.victimW > p.c.Job(int(ms.Running)).Weight/p.opt.Epsilon {
+			p.rejectRunning(best, t)
 		}
 	}
-	if m.running == -1 {
-		s.startNext(best, t)
+	if p.c.Machine(best).Idle() {
+		p.startNext(best, t)
 	}
 }
 
-func (s *sstate) rejectRunning(i int, t float64) {
-	m := &s.mach[i]
-	k := m.running
-	done := (t - m.runStart) * m.runSpeed
-	q := m.runVol - done
-	if q < 0 {
-		q = 0
+func (p *spolicy) rejectRunning(i int, t float64) {
+	m := &p.mach[i]
+	ms := p.c.Machine(i)
+	start, speed := ms.RunStart, ms.RunSpeed
+	k, q := p.c.RejectRunning(i, t)
+	id := p.c.ID(k)
+	p.res.Rejections++
+	p.res.RejectedWeight += p.c.Job(k).Weight
+	if p.dual != nil {
+		m.remTimeAcc += q / speed
+		p.dual.noteFinish(id, i, start, speed, t, q, t+(m.remTimeAcc-p.snap[k]))
 	}
-	id := s.idx.ID(k)
-	if t > m.runStart+sched.Eps {
-		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: id, Machine: i, Start: m.runStart, End: t, Speed: m.runSpeed,
-		})
-	}
-	s.out.Rejected[id] = t
-	s.res.Rejections++
-	s.res.RejectedWeight += m.runW
-	if s.dual != nil {
-		m.remTimeAcc += q / m.runSpeed
-		s.dual.noteFinish(id, i, m.runStart, m.runSpeed, t, q, t+(m.remTimeAcc-s.snap[k]))
-	}
-	m.running = -1
 	m.victimW = 0
 }
 
-func (s *sstate) startNext(i int, t float64) {
-	m := &s.mach[i]
+func (p *spolicy) startNext(i int, t float64) {
+	m := &p.mach[i]
 	if len(m.pending) == 0 {
 		return
 	}
@@ -317,36 +273,20 @@ func (s *sstate) startNext(i int, t float64) {
 	for _, e := range m.pending {
 		totalW += e.w
 	}
-	speed := s.gamma * math.Pow(totalW, 1/s.alpha)
-	m.running = it.id
-	m.runStart = t
-	m.runSpeed = speed
-	m.runVol = it.p
-	m.runW = it.w
+	speed := p.gamma * math.Pow(totalW, 1/p.alpha)
 	m.victimW = 0
-	s.seq++
-	m.runSeq = s.seq
-	s.q.Push(eventq.Event{
-		Time: t + it.p/speed, Kind: eventq.KindCompletion,
-		Job: int32(it.id), Machine: int32(i), Version: int32(s.seq),
-	})
+	p.c.Start(i, t, it.id, it.p, speed)
 }
 
-func (s *sstate) handleCompletion(e eventq.Event) {
-	m := &s.mach[e.Machine]
-	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
-		return // stale: interrupted by a rejection
+func (p *spolicy) OnCompletion(t float64, i, jk int) {
+	if p.dual != nil {
+		ms := p.c.Machine(i)
+		p.dual.noteFinish(p.c.ID(jk), i, ms.RunStart, ms.RunSpeed, t, 0,
+			t+(p.mach[i].remTimeAcc-p.snap[jk]))
 	}
-	id := s.idx.ID(int(e.Job))
-	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: m.runSpeed,
-	})
-	s.out.Completed[id] = e.Time
-	if s.dual != nil {
-		s.dual.noteFinish(id, int(e.Machine), m.runStart, m.runSpeed, e.Time, 0,
-			e.Time+(m.remTimeAcc-s.snap[int(e.Job)]))
-	}
-	m.running = -1
-	m.victimW = 0
-	s.startNext(int(e.Machine), e.Time)
+	p.mach[i].victimW = 0
 }
+
+func (p *spolicy) OnIdle(t float64, i int) { p.startNext(i, t) }
+
+func (p *spolicy) OnBookkeeping(t float64, i, jk int) {}

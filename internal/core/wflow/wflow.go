@@ -24,9 +24,11 @@
 // weight is at most 2ε·W — the budget half of a weighted Theorem 1. No
 // competitive-ratio proof is claimed; E13 measures the ratio empirically.
 //
-// The density treap carries (p, w) as its auxiliary value pair, so one
-// O(log n) rank query yields both prefix aggregates of λ_ij; per-job state
-// lives in dense sched.Index slices and the machine argmin shards across
+// The event-loop mechanics live in internal/engine; this package is the
+// engine Policy carrying the weighted rules, runnable in batch (Run) or
+// streaming (Session) form with bit-identical outcomes. The density treap
+// carries (p, w) as its auxiliary value pair, so one O(log n) rank query
+// yields both prefix aggregates of λ_ij; the machine argmin shards across
 // internal/dispatch like the unweighted scheduler.
 package wflow
 
@@ -34,7 +36,7 @@ import (
 	"fmt"
 
 	"repro/internal/dispatch"
-	"repro/internal/eventq"
+	"repro/internal/engine"
 	"repro/internal/ostree"
 	"repro/internal/sched"
 )
@@ -59,6 +61,7 @@ type Result struct {
 	RejectedWeight float64
 }
 
+// wmachine is the per-machine policy state (the engine owns the run state).
 type wmachine struct {
 	// pending orders by descending density via negated key (ostree sorts
 	// ascending) and carries (p, w) as its value pair, so λ's prefix sums
@@ -67,83 +70,53 @@ type wmachine struct {
 	pending *ostree.Tree // Key.P = −w/p (density order), vals = (p, w)
 	byProc  *ostree.Tree // Key.P = p (processing-time order)
 
-	running  int // compact job index, -1 idle
-	runStart float64
-	runProc  float64
-	runW     float64
-	runSeq   int
-	victimW  float64
-
+	victimW  float64 // Rule 1 weighted victim counter for the running job
 	counterW float64 // Rule 2 weighted counter c_i
 }
 
-type wstate struct {
-	ins    *sched.Instance
+// wpolicy implements engine.Policy with the weighted rules.
+type wpolicy struct {
+	c      *engine.Core
 	opt    Options
-	out    *sched.Outcome
 	res    *Result
-	q      eventq.Queue
 	mach   []wmachine
-	idx    *sched.Index
 	pool   *dispatch.Pool
 	curJob *sched.Job        // job under dispatch, read by the argmin eval
 	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
-	seq    int
 }
 
-// Run executes the weighted extension on the instance.
-func Run(ins *sched.Instance, opt Options) (*Result, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
-		return nil, fmt.Errorf("wflow: epsilon must be in (0,1), got %v", opt.Epsilon)
-	}
-	n := len(ins.Jobs)
-	s := &wstate{
-		ins: ins, opt: opt,
-		out: sched.NewOutcomeSized(n),
-		idx: ins.Index(),
-	}
-	s.res = &Result{Outcome: s.out}
-	s.mach = make([]wmachine, ins.Machines)
-	for i := range s.mach {
-		s.mach[i] = wmachine{
+func newPolicy(opt Options, machines int) *wpolicy {
+	p := &wpolicy{opt: opt, res: &Result{}}
+	p.mach = make([]wmachine, machines)
+	for i := range p.mach {
+		p.mach[i] = wmachine{
 			pending: ostree.New(uint64(0x77f1) + uint64(i)),
 			byProc:  ostree.New(uint64(0x88f2) + uint64(i)),
-			running: -1,
 		}
 	}
-	s.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, ins.Machines), ins.Machines)
-	defer s.pool.Close()
-	s.evalFn = s.evalCur
-
-	arrivals := make([]eventq.Event, n)
-	for k := range ins.Jobs {
-		arrivals[k] = eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1}
-	}
-	s.q.Init(arrivals)
-	s.q.Grow(ins.Machines) // completions otherwise reuse popped-arrival capacity
-	for s.q.Len() > 0 {
-		e := s.q.Pop()
-		switch e.Kind {
-		case eventq.KindArrival:
-			s.handleArrival(e.Time, int(e.Job))
-		case eventq.KindCompletion:
-			s.handleCompletion(e)
-		}
-	}
-	if got := len(s.out.Completed) + len(s.out.Rejected); got != n {
-		return nil, fmt.Errorf("wflow: internal: %d jobs accounted, want %d", got, n)
-	}
-	return s.res, nil
+	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
+	p.evalFn = p.evalCur
+	return p
 }
 
-func (s *wstate) densityKey(j *sched.Job, i int) ostree.Key {
+func (p *wpolicy) Bind(c *engine.Core) { p.c = c }
+
+func (p *wpolicy) Close() { p.pool.Close() }
+
+func (p *wpolicy) Audit() error {
+	for i := range p.mach {
+		if p.mach[i].pending.Len() != 0 || p.mach[i].byProc.Len() != 0 {
+			return fmt.Errorf("wflow: internal invariant violated: machine %d still has pending jobs at end of run", i)
+		}
+	}
+	return nil
+}
+
+func (p *wpolicy) densityKey(j *sched.Job, i int) ostree.Key {
 	return ostree.Key{P: -j.Weight / j.Proc[i], Release: j.Release, ID: j.ID}
 }
 
-func (s *wstate) procKey(j *sched.Job, i int) ostree.Key {
+func (p *wpolicy) procKey(j *sched.Job, i int) ostree.Key {
 	return ostree.Key{P: j.Proc[i], Release: j.Release, ID: j.ID}
 }
 
@@ -152,121 +125,102 @@ func (s *wstate) procKey(j *sched.Job, i int) ostree.Key {
 // prefix processing time Σ_{ℓ⪯j} p_iℓ and prefix weight both come from a
 // single rank query; the suffix weight is the complement against the
 // machine's pending total. Read-only, safe for concurrent machine shards.
-func (s *wstate) lambdaFor(j *sched.Job, i int) float64 {
-	m := &s.mach[i]
-	p, w := j.Proc[i], j.Weight
-	_, _, sumPBefore, wBefore, _ := m.pending.RankStatsVals(s.densityKey(j, i))
+func (p *wpolicy) lambdaFor(j *sched.Job, i int) float64 {
+	m := &p.mach[i]
+	pp, w := j.Proc[i], j.Weight
+	_, _, sumPBefore, wBefore, _ := m.pending.RankStatsVals(p.densityKey(j, i))
 	_, totW := m.pending.SumVals() // Σ w over pending, from the same aggregate
 	wAfter := totW - wBefore
-	return w*p/s.opt.Epsilon + w*(sumPBefore+p) + p*wAfter
+	return w*pp/p.opt.Epsilon + w*(sumPBefore+pp) + pp*wAfter
 }
 
 // evalCur adapts lambdaFor to the dispatch pool's eval signature for the job
 // stashed in curJob; bound once per run as evalFn, since evaluating a
 // method value allocates.
-func (s *wstate) evalCur(i int) float64 { return s.lambdaFor(s.curJob, i) }
+func (p *wpolicy) evalCur(i int) float64 { return p.lambdaFor(p.curJob, i) }
 
-func (s *wstate) insertPending(j *sched.Job, i int) {
-	m := &s.mach[i]
-	m.pending.InsertVals(s.densityKey(j, i), j.Proc[i], j.Weight)
-	m.byProc.Insert(s.procKey(j, i))
+func (p *wpolicy) insertPending(j *sched.Job, i int) {
+	m := &p.mach[i]
+	m.pending.InsertVals(p.densityKey(j, i), j.Proc[i], j.Weight)
+	m.byProc.Insert(p.procKey(j, i))
 }
 
-func (s *wstate) removePending(j *sched.Job, i int) {
-	m := &s.mach[i]
-	m.pending.Delete(s.densityKey(j, i))
-	m.byProc.Delete(s.procKey(j, i))
+func (p *wpolicy) removePending(j *sched.Job, i int) {
+	m := &p.mach[i]
+	m.pending.Delete(p.densityKey(j, i))
+	m.byProc.Delete(p.procKey(j, i))
 }
 
-func (s *wstate) handleArrival(t float64, jk int) {
-	j := s.idx.Job(jk)
-	s.curJob = j
-	best, _ := s.pool.ArgMin(s.evalFn)
-	m := &s.mach[best]
-	s.out.Assigned[j.ID] = best
-	s.insertPending(j, best)
+func (p *wpolicy) OnArrival(t float64, jk int) {
+	j := p.c.Job(jk)
+	p.curJob = j
+	best, _ := p.pool.ArgMin(p.evalFn)
+	m := &p.mach[best]
+	p.c.Assign(jk, best)
+	p.insertPending(j, best)
 	m.counterW += j.Weight
 
 	// Rule 1 (weighted): charge the running job.
-	if m.running != -1 {
+	ms := p.c.Machine(best)
+	if !ms.Idle() {
 		m.victimW += j.Weight
-		if m.victimW > m.runW/s.opt.Epsilon {
-			s.rejectRunning(best, t)
+		if m.victimW > p.c.Job(int(ms.Running)).Weight/p.opt.Epsilon {
+			p.rejectRunning(best, t)
 		}
 	}
-	if m.running == -1 {
-		s.startNext(best, t)
+	if p.c.Machine(best).Idle() {
+		p.startNext(best, t)
 	}
 	// Rule 2 (weighted, budgeted): shed the largest pending job whenever
 	// the accumulated weight affords it.
-	s.maybeRejectLargest(best, t)
+	p.maybeRejectLargest(best, t)
 }
 
-func (s *wstate) rejectRunning(i int, t float64) {
-	m := &s.mach[i]
-	k := m.running
-	if t > m.runStart+sched.Eps {
-		s.out.Intervals = append(s.out.Intervals, sched.Interval{
-			Job: s.idx.ID(k), Machine: i, Start: m.runStart, End: t, Speed: 1,
-		})
-	}
-	s.out.Rejected[s.idx.ID(k)] = t
-	s.res.Rule1Rejections++
-	s.res.RejectedWeight += m.runW
-	m.running = -1
-	m.victimW = 0
+func (p *wpolicy) rejectRunning(i int, t float64) {
+	k, _ := p.c.RejectRunning(i, t)
+	p.res.Rule1Rejections++
+	p.res.RejectedWeight += p.c.Job(k).Weight
+	p.mach[i].victimW = 0
 }
 
-func (s *wstate) maybeRejectLargest(i int, t float64) {
-	m := &s.mach[i]
-	eps := s.opt.Epsilon
+func (p *wpolicy) maybeRejectLargest(i int, t float64) {
+	m := &p.mach[i]
+	eps := p.opt.Epsilon
 	for {
 		key, ok := m.byProc.Max()
 		if !ok {
 			return
 		}
-		j := s.idx.JobByID(key.ID)
+		jk := p.c.IndexOf(key.ID)
+		j := p.c.Job(jk)
 		if j.Weight > eps/(1+eps)*m.counterW {
 			return // cannot afford the largest job yet
 		}
-		s.removePending(j, i)
+		p.removePending(j, i)
 		m.counterW -= j.Weight * (1 + eps) / eps
-		s.out.Rejected[j.ID] = t
-		s.res.Rule2Rejections++
-		s.res.RejectedWeight += j.Weight
+		p.c.RejectPending(jk, t)
+		p.res.Rule2Rejections++
+		p.res.RejectedWeight += j.Weight
 	}
 }
 
-func (s *wstate) startNext(i int, t float64) {
-	m := &s.mach[i]
+func (p *wpolicy) startNext(i int, t float64) {
+	m := &p.mach[i]
 	key, ok := m.pending.Min() // most negative −w/p = highest density
 	if !ok {
 		return
 	}
-	jk := s.idx.Of(key.ID)
-	j := s.idx.Job(jk)
-	s.removePending(j, i)
-	m.running = jk
-	m.runStart = t
-	m.runProc = j.Proc[i]
-	m.runW = j.Weight
+	jk := p.c.IndexOf(key.ID)
+	j := p.c.Job(jk)
+	p.removePending(j, i)
 	m.victimW = 0
-	s.seq++
-	m.runSeq = s.seq
-	s.q.Push(eventq.Event{Time: t + m.runProc, Kind: eventq.KindCompletion, Job: int32(jk), Machine: int32(i), Version: int32(s.seq)})
+	p.c.Start(i, t, jk, j.Proc[i], 1)
 }
 
-func (s *wstate) handleCompletion(e eventq.Event) {
-	m := &s.mach[e.Machine]
-	if m.running != int(e.Job) || m.runSeq != int(e.Version) {
-		return
-	}
-	id := s.idx.ID(int(e.Job))
-	s.out.Intervals = append(s.out.Intervals, sched.Interval{
-		Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
-	})
-	s.out.Completed[id] = e.Time
-	m.running = -1
-	m.victimW = 0
-	s.startNext(int(e.Machine), e.Time)
+func (p *wpolicy) OnCompletion(t float64, i, jk int) {
+	p.mach[i].victimW = 0
 }
+
+func (p *wpolicy) OnIdle(t float64, i int) { p.startNext(i, t) }
+
+func (p *wpolicy) OnBookkeeping(t float64, i, jk int) {}

@@ -1,0 +1,252 @@
+// Package engine is the shared event-loop core of the online λ-dispatch
+// schedulers (internal/core/flowtime, wflow, speedscale). It owns everything
+// those algorithms used to re-implement privately — the deterministic event
+// queue wiring, the per-machine run state with the runSeq version guard that
+// invalidates completion events of interrupted executions, the completion
+// and rejection recording into a sched.Outcome, and the end-of-run sanity
+// audit — and drives a Policy that supplies the algorithmic decisions
+// (dispatch, service order, rejection rules, dual bookkeeping).
+//
+// The engine is consumed through a Session, a true streaming API: jobs are
+// fed one at a time in release order (Feed), simulated time advances either
+// implicitly as later jobs arrive or explicitly (AdvanceTo), and Close
+// drains the remaining events and audits the run. A batch run over a full
+// sched.Instance is just a session fed from a slice — the core packages'
+// Run functions are exactly that thin wrapper, with outputs bit-identical
+// to the pre-engine implementations.
+//
+// Determinism: events pop in (Time, Kind, insertion-seq) order exactly as in
+// a batch run, because a session only drains events that can no longer be
+// preceded by a future arrival. After feeding a job released at r, any
+// queued event at time ≤ r − sched.Eps is safe — later feeds must release at
+// ≥ r − Eps, and at equal times arrivals sort after completions (by Kind)
+// and after earlier-fed arrivals (by insertion seq). The drain horizon
+// therefore trails the last fed release by Eps; Close (or AdvanceTo, which
+// is a caller promise that no earlier release will ever be fed) releases
+// the tail.
+//
+// Hot-path discipline (see DESIGN.md): per-job state is dense, indexed by
+// the compact feed-order index; the id→index map is a growable direct-lookup
+// slice with a map fallback for sparse ID spaces; with a SizeHint the
+// session preallocates the job table, outcome maps and event heap so a
+// batch-sized run allocates no more than the pre-engine code did.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+)
+
+// Policy supplies the algorithmic decisions of one online scheduler. The
+// engine invokes the hooks from its event loop; the policy reacts by calling
+// the Core primitives (Start, RejectRunning, RejectPending, Assign,
+// Bookkeep). All hooks run on the session's goroutine — policies need no
+// internal locking, but their dispatch evaluations may shard across
+// internal/dispatch workers as before.
+type Policy interface {
+	// Bind attaches the policy to the engine core. It is called exactly
+	// once, before any event fires.
+	Bind(c *Core)
+	// OnArrival handles the release of the job with compact index jk at
+	// time t: dispatch it, apply arrival-time rejection rules, and start
+	// it if its machine is idle.
+	OnArrival(t float64, jk int)
+	// OnCompletion runs after the engine has recorded the (non-stale)
+	// completion of job jk on machine i and marked the machine idle; the
+	// engine calls OnIdle immediately afterwards. Use it for per-job
+	// bookkeeping (e.g. dual definitive-finish records).
+	OnCompletion(t float64, i, jk int)
+	// OnIdle runs when machine i goes idle after a completion. Policies
+	// start their next pending job here.
+	OnIdle(t float64, i int)
+	// OnBookkeeping handles events the policy scheduled via Core.Bookkeep
+	// (e.g. a job leaving the dual set V_i at its definitive finish).
+	OnBookkeeping(t float64, i, jk int)
+	// Audit checks policy invariants at the end of a run (after the event
+	// queue drains), complementing the engine's own sanity audit.
+	Audit() error
+	// Close releases policy resources (dispatch worker pools). The engine
+	// calls it exactly once, from Session.Close.
+	Close()
+}
+
+// MachineState is the engine-owned run state of one machine. Policies read
+// it (Running, RunStart, RunVol, RunSpeed) but mutate it only through the
+// Core primitives, so the runSeq completion guard can never be bypassed.
+type MachineState struct {
+	// Running is the compact index of the executing job, -1 when idle.
+	Running int32
+	// RunSeq is the start-version guard: completion events carry the
+	// version of the execution that scheduled them and are dropped as
+	// stale when the machine has since been restarted.
+	RunSeq int32
+	// RunStart is the start time of the current execution.
+	RunStart float64
+	// RunVol is the processing volume p_ij of the running job (its
+	// processing time for unit-speed schedulers).
+	RunVol float64
+	// RunSpeed is the frozen execution speed (1 for unit-speed).
+	RunSpeed float64
+}
+
+// Idle reports whether the machine is not executing a job.
+func (m *MachineState) Idle() bool { return m.Running == -1 }
+
+// Options configures a session.
+type Options struct {
+	// Machines is the number of unrelated machines (≥ 1).
+	Machines int
+	// SizeHint preallocates per-job storage (job table, outcome maps,
+	// event heap) for a run of about this many jobs. Zero is valid: all
+	// storage grows on demand, which is the streaming mode of operation.
+	SizeHint int
+	// EventHint overrides the event-heap preallocation when the policy
+	// schedules extra per-job events (e.g. dual bookkeeping exits); zero
+	// derives a default from SizeHint and Machines.
+	EventHint int
+}
+
+// Core is the engine state a Policy interacts with. It is owned by a
+// Session and must not be used after the session closes.
+type Core struct {
+	pol  Policy
+	q    eventq.Queue
+	mach []MachineState
+	jobs []sched.Job
+	ids  idIndex
+	out  *sched.Outcome
+	seq  int32
+}
+
+func (c *Core) init(pol Policy, opt Options) {
+	c.pol = pol
+	c.mach = make([]MachineState, opt.Machines)
+	for i := range c.mach {
+		c.mach[i].Running = -1
+	}
+	c.jobs = make([]sched.Job, 0, opt.SizeHint)
+	c.ids.reserve(opt.SizeHint)
+	c.out = sched.NewOutcomeSized(opt.SizeHint)
+	eh := opt.EventHint
+	if eh == 0 {
+		eh = opt.SizeHint + opt.Machines + 1
+	}
+	c.q.Grow(eh)
+}
+
+// Machines returns the machine count.
+func (c *Core) Machines() int { return len(c.mach) }
+
+// Machine returns the run state of machine i.
+func (c *Core) Machine(i int) *MachineState { return &c.mach[i] }
+
+// NumJobs returns the number of jobs fed so far.
+func (c *Core) NumJobs() int { return len(c.jobs) }
+
+// Job returns the job with compact index jk. The pointer stays valid for
+// the life of the session (the job table grows by append, but policies must
+// not retain pointers across Feed calls; re-fetch by index instead).
+func (c *Core) Job(jk int) *sched.Job { return &c.jobs[jk] }
+
+// ID returns the external id of the job with compact index jk.
+func (c *Core) ID(jk int) int { return c.jobs[jk].ID }
+
+// IndexOf returns the compact index of the job with external id, or -1.
+func (c *Core) IndexOf(id int) int { return c.ids.of(id) }
+
+// Assign records the dispatch of job jk to machine i in the outcome.
+func (c *Core) Assign(jk, i int) { c.out.Assigned[c.jobs[jk].ID] = i }
+
+// Start begins executing job jk on machine i at time t with the given
+// processing volume and (frozen) speed, bumping the machine's start version
+// and scheduling the matching completion event at t + vol/speed.
+func (c *Core) Start(i int, t float64, jk int, vol, speed float64) {
+	m := &c.mach[i]
+	m.Running = int32(jk)
+	m.RunStart = t
+	m.RunVol = vol
+	m.RunSpeed = speed
+	c.seq++
+	m.RunSeq = c.seq
+	c.q.Push(eventq.Event{
+		Time: t + vol/speed, Kind: eventq.KindCompletion,
+		Job: int32(jk), Machine: int32(i), Version: c.seq,
+	})
+}
+
+// RejectRunning interrupts machine i's execution at time t: the partial
+// interval (if long enough to matter) and the rejection are recorded, the
+// machine is marked idle, and the interrupted job's compact index and
+// remaining volume are returned. The pending completion event goes stale
+// via the version guard. The policy decides what (if anything) runs next.
+func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
+	m := &c.mach[i]
+	jk = int(m.Running)
+	remVol = m.RunVol - (t-m.RunStart)*m.RunSpeed
+	if remVol < 0 {
+		remVol = 0
+	}
+	id := c.jobs[jk].ID
+	if t-m.RunStart > sched.Eps {
+		c.out.Intervals = append(c.out.Intervals, sched.Interval{
+			Job: id, Machine: i, Start: m.RunStart, End: t, Speed: m.RunSpeed,
+		})
+	}
+	c.out.Rejected[id] = t
+	m.Running = -1
+	return jk, remVol
+}
+
+// RejectPending records the rejection at time t of job jk that never
+// started (e.g. flowtime's Rule 2 shedding the largest pending job).
+func (c *Core) RejectPending(jk int, t float64) {
+	c.out.Rejected[c.jobs[jk].ID] = t
+}
+
+// Bookkeep schedules a policy bookkeeping event at time t, delivered to
+// Policy.OnBookkeeping when the simulation reaches t.
+func (c *Core) Bookkeep(t float64, i, jk int) {
+	c.q.Push(eventq.Event{Time: t, Kind: eventq.KindBookkeeping, Job: int32(jk), Machine: int32(i)})
+}
+
+// GrowEvents reserves heap capacity for n additional events beyond the
+// current backlog, for policies that know their bookkeeping volume upfront.
+func (c *Core) GrowEvents(n int) { c.q.Grow(n) }
+
+// handle routes one popped event.
+func (c *Core) handle(e eventq.Event) {
+	switch e.Kind {
+	case eventq.KindArrival:
+		c.pol.OnArrival(e.Time, int(e.Job))
+	case eventq.KindCompletion:
+		m := &c.mach[e.Machine]
+		if m.Running != e.Job || m.RunSeq != e.Version {
+			return // stale: the execution was interrupted by a rejection
+		}
+		id := c.jobs[e.Job].ID
+		c.out.Intervals = append(c.out.Intervals, sched.Interval{
+			Job: id, Machine: int(e.Machine), Start: m.RunStart, End: e.Time, Speed: m.RunSpeed,
+		})
+		c.out.Completed[id] = e.Time
+		m.Running = -1
+		c.pol.OnCompletion(e.Time, int(e.Machine), int(e.Job))
+		c.pol.OnIdle(e.Time, int(e.Machine))
+	case eventq.KindBookkeeping:
+		c.pol.OnBookkeeping(e.Time, int(e.Machine), int(e.Job))
+	}
+}
+
+// audit checks the engine-owned end-of-run invariants.
+func (c *Core) audit() error {
+	for i := range c.mach {
+		if c.mach[i].Running != -1 {
+			return fmt.Errorf("engine: internal invariant violated: machine %d still busy at end of run", i)
+		}
+	}
+	if got := len(c.out.Completed) + len(c.out.Rejected); got != len(c.jobs) {
+		return fmt.Errorf("engine: internal invariant violated: %d jobs accounted, want %d", got, len(c.jobs))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIDIndexDense(t *testing.T) {
+	var ix idIndex
+	ix.reserve(16)
+	for i := 0; i < 100; i++ {
+		k, ok := ix.add(i)
+		if !ok || k != i {
+			t.Fatalf("add(%d) = (%d, %v)", i, k, ok)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got := ix.of(i); got != i {
+			t.Fatalf("of(%d) = %d", i, got)
+		}
+	}
+	if ix.of(100) != -1 || ix.of(-1) != -1 {
+		t.Fatal("missing ids must resolve to -1")
+	}
+	if ix.byID != nil {
+		t.Fatal("dense id space should not fall back to a map")
+	}
+}
+
+func TestIDIndexDuplicate(t *testing.T) {
+	var ix idIndex
+	if _, ok := ix.add(7); !ok {
+		t.Fatal("first add rejected")
+	}
+	if _, ok := ix.add(7); ok {
+		t.Fatal("duplicate accepted on dense path")
+	}
+	ix.toMap()
+	if _, ok := ix.add(7); ok {
+		t.Fatal("duplicate accepted on map path")
+	}
+}
+
+func TestIDIndexHolesAndOffsetBase(t *testing.T) {
+	var ix idIndex
+	ids := []int{1000, 1004, 1001, 1010}
+	for k, id := range ids {
+		got, ok := ix.add(id)
+		if !ok || got != k {
+			t.Fatalf("add(%d) = (%d, %v), want %d", id, got, ok, k)
+		}
+	}
+	for k, id := range ids {
+		if ix.of(id) != k {
+			t.Fatalf("of(%d) = %d, want %d", id, ix.of(id), k)
+		}
+	}
+	if ix.of(1002) != -1 {
+		t.Fatal("hole must resolve to -1")
+	}
+}
+
+func TestIDIndexSparseFallsBackToMap(t *testing.T) {
+	var ix idIndex
+	ix.add(0)
+	if _, ok := ix.add(1 << 40); !ok {
+		t.Fatal("sparse id rejected")
+	}
+	if ix.byID == nil {
+		t.Fatal("sparse id space must migrate to the map")
+	}
+	if ix.of(0) != 0 || ix.of(1<<40) != 1 {
+		t.Fatal("lookups broken after migration")
+	}
+}
+
+func TestIDIndexBelowBaseFallsBackToMap(t *testing.T) {
+	var ix idIndex
+	ix.add(100)
+	if k, ok := ix.add(5); !ok || k != 1 {
+		t.Fatalf("add below base = (%d, %v)", k, ok)
+	}
+	if ix.byID == nil {
+		t.Fatal("id below base must migrate to the map")
+	}
+	if ix.of(100) != 0 || ix.of(5) != 1 {
+		t.Fatal("lookups broken after below-base migration")
+	}
+}
+
+// TestIDIndexRandomizedVsMap differentially checks the index against a plain
+// map over random id streams that cross the dense/sparse boundary.
+func TestIDIndexRandomizedVsMap(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ix idIndex
+		ref := map[int]int{}
+		n := 0
+		for step := 0; step < 2000; step++ {
+			id := rng.Intn(3000)
+			if seed%2 == 1 && rng.Intn(50) == 0 {
+				id = rng.Intn(1 << 30) // occasionally very sparse
+			}
+			k, ok := ix.add(id)
+			if _, dup := ref[id]; dup {
+				if ok {
+					t.Fatalf("seed %d: duplicate %d accepted", seed, id)
+				}
+				continue
+			}
+			if !ok || k != n {
+				t.Fatalf("seed %d: add(%d) = (%d, %v), want %d", seed, id, k, ok, n)
+			}
+			ref[id] = n
+			n++
+		}
+		for id, want := range ref {
+			if got := ix.of(id); got != want {
+				t.Fatalf("seed %d: of(%d) = %d, want %d", seed, id, got, want)
+			}
+		}
+	}
+}

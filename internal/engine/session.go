@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+)
+
+// ErrClosed is returned by session operations after Close.
+var ErrClosed = errors.New("engine: session closed")
+
+// Session is the streaming front-end of the engine: an online run that
+// accepts jobs incrementally. Jobs must be fed in non-decreasing release
+// order (within sched.Eps, matching Instance.Validate's tolerance); the
+// simulation advances as far as the fed releases allow, so machine state,
+// completions and rejections materialize while the stream is still open.
+//
+// A Session is not safe for concurrent use; shard across independent
+// sessions (see Shard) to scale out.
+type Session struct {
+	core   Core
+	last   float64 // latest fed release
+	floor  float64 // AdvanceTo watermark: future releases must be ≥ floor
+	closed bool
+}
+
+// NewSession starts a streaming run of the given policy. The policy must be
+// freshly constructed for this session; it is bound to the engine core
+// before the first event and closed exactly once by Session.Close.
+func NewSession(pol Policy, opt Options) (*Session, error) {
+	if opt.Machines <= 0 {
+		return nil, fmt.Errorf("engine: session needs at least one machine, got %d", opt.Machines)
+	}
+	s := &Session{}
+	s.core.init(pol, opt)
+	pol.Bind(&s.core)
+	return s, nil
+}
+
+// Feed accepts the next job of the stream. It validates the job against the
+// same structural rules as sched.Instance.Validate (machine-count-many
+// positive finite processing times, positive weight, sane release and
+// deadline, unique id, release order within Eps) and then advances the
+// simulation through every event that can no longer be preceded by a future
+// arrival. Validation errors leave the session usable; the offending job is
+// simply not admitted.
+func (s *Session) Feed(j sched.Job) error {
+	if s.closed {
+		return ErrClosed
+	}
+	c := &s.core
+	if err := sched.ValidateJob(&j, len(c.mach), s.last); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if j.Release < s.floor {
+		return fmt.Errorf("engine: job %d released at %v before the AdvanceTo watermark %v", j.ID, j.Release, s.floor)
+	}
+	jk, ok := c.ids.add(j.ID)
+	if !ok {
+		return fmt.Errorf("engine: duplicate job id %d", j.ID)
+	}
+	c.jobs = append(c.jobs, j)
+	c.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: int32(jk), Machine: -1})
+	if j.Release > s.last {
+		s.last = j.Release
+	}
+	s.drain(s.last - sched.Eps)
+	return nil
+}
+
+// AdvanceTo declares that no job released before t will ever be fed and
+// advances the simulation through every event at time ≤ t. Subsequent Feed
+// calls with a release below t fail.
+func (s *Session) AdvanceTo(t float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if math.IsNaN(t) {
+		return errors.New("engine: AdvanceTo(NaN)")
+	}
+	if t > s.floor {
+		s.floor = t
+	}
+	s.drain(t)
+	return nil
+}
+
+// Close ends the stream: the remaining events drain (every fed job runs to
+// completion or rejection), the policy releases its resources, and both the
+// policy and engine invariants are audited. The outcome records exactly
+// what the online run did, in the same form as a batch run.
+func (s *Session) Close() (*sched.Outcome, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.closed = true
+	c := &s.core
+	s.drain(math.Inf(1))
+	c.pol.Close()
+	if err := c.pol.Audit(); err != nil {
+		return nil, err
+	}
+	if err := c.audit(); err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+// drain pops and handles every queued event at time ≤ horizon. Events tied
+// at the horizon are safe: a future arrival at the same instant sorts after
+// them (larger Kind or later insertion seq), exactly as in a batch heap.
+func (s *Session) drain(horizon float64) {
+	c := &s.core
+	for c.q.Len() > 0 && c.q.Peek().Time <= horizon {
+		c.handle(c.q.Pop())
+	}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Feeder consumes a stream of jobs in release order. engine.Session and the
+// scheduler sessions of internal/core (flowtime, wflow, speedscale) all
+// implement it.
+type Feeder interface {
+	Feed(j sched.Job) error
+}
+
+// RouteFunc picks the shard in [0, shards) for a job. Routes must be pure:
+// the same job always lands on the same shard, so each shard observes a
+// release-ordered subsequence of the stream.
+type RouteFunc func(j *sched.Job, shards int) int
+
+// RouteByID is the default route: jobs hash to shards by external id, so a
+// job's placement is stable across runs and shard counts are load-balanced
+// for dense id spaces.
+func RouteByID(j *sched.Job, shards int) int {
+	return ((j.ID % shards) + shards) % shards
+}
+
+// Shard fans a job stream out to K independent sessions, each drained by
+// its own goroutine — the scale-out unit of the engine: one session per
+// shard of machines, jobs partitioned by a stable route. Feed never blocks
+// on scheduling work (only on a full shard buffer); Wait joins the workers
+// and reports the first feed error. The caller closes the individual
+// sessions afterwards and merges their outcomes.
+//
+// Feed and Wait must be called from a single producer goroutine.
+type Shard struct {
+	chans []chan sched.Job
+	route RouteFunc
+	errs  []error
+	wg    sync.WaitGroup
+	done  bool
+}
+
+// NewShard starts one worker per feeder. A nil route selects RouteByID;
+// buf ≤ 0 selects a default per-shard buffer of 256 jobs.
+func NewShard(feeders []Feeder, route RouteFunc, buf int) *Shard {
+	if route == nil {
+		route = RouteByID
+	}
+	if buf <= 0 {
+		buf = 256
+	}
+	sh := &Shard{
+		chans: make([]chan sched.Job, len(feeders)),
+		route: route,
+		errs:  make([]error, len(feeders)),
+	}
+	for k := range feeders {
+		ch := make(chan sched.Job, buf)
+		sh.chans[k] = ch
+		sh.wg.Add(1)
+		go func(k int, f Feeder, ch chan sched.Job) {
+			defer sh.wg.Done()
+			for j := range ch {
+				if sh.errs[k] != nil {
+					continue // drain: order is broken past the first error
+				}
+				if err := f.Feed(j); err != nil {
+					sh.errs[k] = err
+				}
+			}
+		}(k, feeders[k], ch)
+	}
+	return sh
+}
+
+// Feed routes the job to its shard. Like the sessions underneath, jobs must
+// arrive in non-decreasing release order.
+func (sh *Shard) Feed(j sched.Job) error {
+	if sh.done {
+		return ErrClosed
+	}
+	if len(sh.chans) == 0 {
+		return fmt.Errorf("engine: shard has no feeders")
+	}
+	k := sh.route(&j, len(sh.chans))
+	if k < 0 || k >= len(sh.chans) {
+		return fmt.Errorf("engine: route returned shard %d of %d", k, len(sh.chans))
+	}
+	sh.chans[k] <- j
+	return nil
+}
+
+// Wait closes the stream, joins the shard workers and returns the first
+// feed error (nil when every job was admitted). The underlying sessions
+// remain open: close them to finish their runs and collect outcomes.
+func (sh *Shard) Wait() error {
+	if sh.done {
+		return ErrClosed
+	}
+	sh.done = true
+	for _, ch := range sh.chans {
+		close(ch)
+	}
+	sh.wg.Wait()
+	for _, err := range sh.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

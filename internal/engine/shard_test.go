@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// shardSetup builds K fifo sessions over m machines each.
+func shardSetup(t *testing.T, k, m int) ([]*Session, []Feeder) {
+	t.Helper()
+	sessions := make([]*Session, k)
+	feeders := make([]Feeder, k)
+	for i := range sessions {
+		s, err := NewSession(newFifo(m, 0), Options{Machines: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		feeders[i] = s
+	}
+	return sessions, feeders
+}
+
+// TestShardMatchesSequentialRouting pins that the concurrent shard runner
+// produces, per shard, exactly the outcome of feeding that shard's
+// subsequence sequentially: the workers add concurrency, never reordering.
+func TestShardMatchesSequentialRouting(t *testing.T) {
+	cfg := workload.DefaultConfig(400, 3, 11)
+	cfg.Load = 1.2
+	ins := workload.Random(cfg)
+	const K = 4
+
+	// Reference: route by id, feed each shard session inline.
+	refSessions, _ := shardSetup(t, K, ins.Machines)
+	for k := range ins.Jobs {
+		j := ins.Jobs[k]
+		if err := refSessions[RouteByID(&j, K)].Feed(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refOut := make([]*sched.Outcome, K)
+	for k, s := range refSessions {
+		out, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOut[k] = out
+	}
+
+	// Shard runner: same routing, worker goroutines.
+	sessions, feeders := shardSetup(t, K, ins.Machines)
+	sh := NewShard(feeders, nil, 0)
+	for k := range ins.Jobs {
+		if err := sh.Feed(ins.Jobs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k, s := range sessions {
+		out, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, refOut[k]) {
+			t.Fatalf("shard %d outcome diverges from sequential routing", k)
+		}
+		total += len(out.Completed) + len(out.Rejected)
+	}
+	if total != len(ins.Jobs) {
+		t.Fatalf("%d jobs accounted across shards, want %d", total, len(ins.Jobs))
+	}
+}
+
+func TestShardFeedErrorSurfacesInWait(t *testing.T) {
+	sessions, feeders := shardSetup(t, 2, 1)
+	sh := NewShard(feeders, nil, 4)
+	if err := sh.Feed(job(0, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Feed(job(2, 1, 1)); err != nil { // out of order on shard 0
+		t.Fatal(err)
+	}
+	if err := sh.Wait(); err == nil {
+		t.Fatal("out-of-order feed did not surface in Wait")
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	if err := sh.Feed(job(4, 9, 1)); err != ErrClosed {
+		t.Fatalf("Feed after Wait: %v, want ErrClosed", err)
+	}
+	if err := sh.Wait(); err != ErrClosed {
+		t.Fatalf("second Wait: %v, want ErrClosed", err)
+	}
+}
+
+func TestShardWithoutFeedersErrors(t *testing.T) {
+	sh := NewShard(nil, nil, 0)
+	if err := sh.Feed(job(0, 0, 1)); err == nil {
+		t.Fatal("Feed on an empty shard must error, not panic")
+	}
+	if err := sh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteByIDNegativeIDs(t *testing.T) {
+	j := sched.Job{ID: -7}
+	if k := RouteByID(&j, 4); k < 0 || k >= 4 {
+		t.Fatalf("RouteByID(-7, 4) = %d", k)
+	}
+}

@@ -56,6 +56,37 @@ type Instance struct {
 	Alpha float64
 }
 
+// ValidateJob checks one job against the structural rules every ingestion
+// path shares — Instance.Validate, the engine's streaming Session.Feed and
+// the NDJSON trace reader all delegate here, so batch and streaming runs
+// can never diverge on what counts as a well-formed job. lastRelease is the
+// latest release already admitted (math.Inf(-1) for the first job); the job
+// may precede it by at most Eps. Duplicate-id detection is the caller's
+// job (it needs cross-job state).
+func ValidateJob(j *Job, machines int, lastRelease float64) error {
+	if len(j.Proc) != machines {
+		return fmt.Errorf("job %d has %d processing times, want %d", j.ID, len(j.Proc), machines)
+	}
+	for i, p := range j.Proc {
+		if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+			return fmt.Errorf("job %d has invalid p[%d]=%v", j.ID, i, p)
+		}
+	}
+	if j.Weight <= 0 {
+		return fmt.Errorf("job %d has non-positive weight %v", j.ID, j.Weight)
+	}
+	if j.Release < 0 || math.IsNaN(j.Release) {
+		return fmt.Errorf("job %d has invalid release %v", j.ID, j.Release)
+	}
+	if j.Release < lastRelease-Eps {
+		return fmt.Errorf("job %d released at %v after the sequence reached %v (jobs must arrive in release order)", j.ID, j.Release, lastRelease)
+	}
+	if j.Deadline <= j.Release && !math.IsInf(j.Deadline, 1) {
+		return fmt.Errorf("job %d deadline %v not after release %v", j.ID, j.Deadline, j.Release)
+	}
+	return nil
+}
+
 // Validate checks structural well-formedness of the instance.
 func (ins *Instance) Validate() error {
 	if ins.Machines <= 0 {
@@ -63,35 +94,18 @@ func (ins *Instance) Validate() error {
 	}
 	seen := make(map[int]bool, len(ins.Jobs))
 	last := math.Inf(-1)
-	for k, j := range ins.Jobs {
+	for k := range ins.Jobs {
+		j := &ins.Jobs[k]
 		if seen[j.ID] {
 			return fmt.Errorf("sched: duplicate job id %d", j.ID)
 		}
 		seen[j.ID] = true
-		if len(j.Proc) != ins.Machines {
-			return fmt.Errorf("sched: job %d has %d processing times, want %d", j.ID, len(j.Proc), ins.Machines)
-		}
-		for i, p := range j.Proc {
-			if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
-				return fmt.Errorf("sched: job %d has invalid p[%d]=%v", j.ID, i, p)
-			}
-		}
-		if j.Weight <= 0 {
-			return fmt.Errorf("sched: job %d has non-positive weight %v", j.ID, j.Weight)
-		}
-		if j.Release < 0 || math.IsNaN(j.Release) {
-			return fmt.Errorf("sched: job %d has invalid release %v", j.ID, j.Release)
-		}
-		if j.Release < last-Eps {
-			return fmt.Errorf("sched: job %d released at %v before predecessor at %v (jobs must be sorted)", j.ID, j.Release, last)
+		if err := ValidateJob(j, ins.Machines, last); err != nil {
+			return fmt.Errorf("sched: %w", err)
 		}
 		if j.Release > last {
 			last = j.Release
 		}
-		if j.Deadline <= j.Release && !math.IsInf(j.Deadline, 1) {
-			return fmt.Errorf("sched: job %d deadline %v not after release %v", j.ID, j.Deadline, j.Release)
-		}
-		_ = k
 	}
 	return nil
 }

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// NDJSON trace format: the incremental counterpart of the instance JSON,
+// consumable one job at a time so streaming schedulers (engine.Session and
+// the scheduler sessions of internal/core) never materialize the instance.
+//
+// Line 1 is a header object {"machines": M, "alpha": A}; every following
+// non-blank line is one job in the same shape as the "jobs" entries of the
+// batch format, in non-decreasing release order:
+//
+//	{"machines":4,"alpha":2}
+//	{"id":0,"release":0,"weight":1,"proc":[3,1,4,1]}
+//	{"id":1,"release":0.5,"weight":2,"proc":[5,9,2,6]}
+//
+// Blank lines are ignored, so traces can be concatenated and hand-edited.
+
+// ndjsonHeader is the first line of an NDJSON trace.
+type ndjsonHeader struct {
+	Machines int     `json:"machines"`
+	Alpha    float64 `json:"alpha,omitempty"`
+}
+
+// maxNDJSONLine bounds one trace line (a job with a very wide Proc vector
+// still fits comfortably).
+const maxNDJSONLine = 16 << 20
+
+// NDJSONReader streams jobs from an NDJSON trace. Next validates each job
+// against the same structural rules as the batch decoder — machine-count
+// matching positive finite processing times, defaulted weight, sane release
+// and deadline — and enforces non-decreasing releases (within sched.Eps,
+// the instance tolerance), so a well-typed stream can be fed straight into
+// a scheduler session. Duplicate-id detection is left to the session,
+// which tracks ids anyway; the reader itself holds O(1) state.
+type NDJSONReader struct {
+	sc       *bufio.Scanner
+	machines int
+	alpha    float64
+	last     float64 // latest release seen
+	line     int     // current physical line, for error messages
+}
+
+// NewNDJSONReader parses the header line and returns a streaming reader.
+func NewNDJSONReader(r io.Reader) (*NDJSONReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxNDJSONLine)
+	nr := &NDJSONReader{sc: sc, last: math.Inf(-1)}
+	for sc.Scan() {
+		nr.line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var h ndjsonHeader
+		if err := strictUnmarshal(b, &h); err != nil {
+			return nil, fmt.Errorf("trace: ndjson line %d: bad header: %w", nr.line, err)
+		}
+		if h.Machines <= 0 {
+			return nil, fmt.Errorf("trace: ndjson line %d: header needs at least one machine, got %d", nr.line, h.Machines)
+		}
+		nr.machines = h.Machines
+		nr.alpha = h.Alpha
+		return nr, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: ndjson: %w", err)
+	}
+	return nil, fmt.Errorf("trace: ndjson: missing header line")
+}
+
+// Machines returns the machine count declared by the header.
+func (r *NDJSONReader) Machines() int { return r.machines }
+
+// Alpha returns the power exponent declared by the header (0 for pure
+// flow-time traces).
+func (r *NDJSONReader) Alpha() float64 { return r.alpha }
+
+// Next returns the next job of the trace, or io.EOF at the end of the
+// stream. Any other error is positioned (line number) and permanent.
+func (r *NDJSONReader) Next() (sched.Job, error) {
+	for r.sc.Scan() {
+		r.line++
+		b := bytes.TrimSpace(r.sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var jj jobJSON
+		if err := strictUnmarshal(b, &jj); err != nil {
+			return sched.Job{}, fmt.Errorf("trace: ndjson line %d: bad job: %w", r.line, err)
+		}
+		j := sched.Job{ID: jj.ID, Release: jj.Release, Weight: jj.Weight, Proc: jj.Proc, Deadline: sched.NoDeadline}
+		if jj.Deadline != nil {
+			j.Deadline = *jj.Deadline
+		}
+		if j.Weight == 0 {
+			j.Weight = 1
+		}
+		if err := sched.ValidateJob(&j, r.machines, r.last); err != nil {
+			return sched.Job{}, fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
+		}
+		if j.Release > r.last {
+			r.last = j.Release
+		}
+		return j, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return sched.Job{}, fmt.Errorf("trace: ndjson: %w", err)
+	}
+	return sched.Job{}, io.EOF
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing garbage, matching the batch decoder's strictness.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// NDJSONWriter streams jobs to an NDJSON trace.
+type NDJSONWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewNDJSONWriter writes the header line and returns a streaming writer.
+// Call Flush when done.
+func NewNDJSONWriter(w io.Writer, machines int, alpha float64) (*NDJSONWriter, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("trace: ndjson: need at least one machine, got %d", machines)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ndjsonHeader{Machines: machines, Alpha: alpha}); err != nil {
+		return nil, err
+	}
+	return &NDJSONWriter{w: bw, enc: enc}, nil
+}
+
+// Write appends one job line.
+func (w *NDJSONWriter) Write(j *sched.Job) error {
+	jj := jobJSON{ID: j.ID, Release: j.Release, Weight: j.Weight, Proc: j.Proc}
+	if !math.IsInf(j.Deadline, 1) {
+		d := j.Deadline
+		jj.Deadline = &d
+	}
+	return w.enc.Encode(jj)
+}
+
+// Flush flushes the underlying buffer.
+func (w *NDJSONWriter) Flush() error { return w.w.Flush() }
+
+// WriteInstanceNDJSON encodes a whole instance in NDJSON form.
+func WriteInstanceNDJSON(w io.Writer, ins *sched.Instance) error {
+	nw, err := NewNDJSONWriter(w, ins.Machines, ins.Alpha)
+	if err != nil {
+		return err
+	}
+	for k := range ins.Jobs {
+		if err := nw.Write(&ins.Jobs[k]); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}
+
+// ReadInstanceNDJSON materializes an NDJSON trace into a validated
+// instance — the batch convenience over the streaming reader.
+func ReadInstanceNDJSON(r io.Reader) (*sched.Instance, error) {
+	nr, err := NewNDJSONReader(r)
+	if err != nil {
+		return nil, err
+	}
+	ins := &sched.Instance{Machines: nr.Machines(), Alpha: nr.Alpha()}
+	for {
+		j, err := nr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ins.Jobs = append(ins.Jobs, j)
+	}
+	ins.SortJobs()
+	if err := ins.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return ins, nil
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	cfg := workload.DefaultConfig(80, 3, 5)
+	cfg.Weighted = true
+	ins := workload.Random(cfg)
+	ins.Alpha = 2.5
+
+	var buf bytes.Buffer
+	if err := WriteInstanceNDJSON(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstanceNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ins, got) {
+		t.Fatal("NDJSON round trip altered the instance")
+	}
+}
+
+// TestNDJSONMatchesBatchFormat pins that both trace formats decode to the
+// same instance: a trace written with WriteInstance and rewritten as NDJSON
+// describes identical jobs.
+func TestNDJSONMatchesBatchFormat(t *testing.T) {
+	ins := workload.RandomDeadline(workload.DeadlineConfig{
+		N: 40, M: 2, Seed: 3, Horizon: 100, MinVol: 1, MaxVol: 5, Slack: 2, Alpha: 2,
+	})
+	var batch, nd bytes.Buffer
+	if err := WriteInstance(&batch, ins); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceNDJSON(&nd, ins); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadInstance(&batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadInstanceNDJSON(&nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("batch and NDJSON decodings diverge")
+	}
+}
+
+func TestNDJSONStreamingReader(t *testing.T) {
+	in := `{"machines":2,"alpha":3}
+
+{"id":4,"release":0,"proc":[1,2]}
+{"id":5,"release":1.5,"weight":2,"proc":[3,4]}
+`
+	r, err := NewNDJSONReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Machines() != 2 || r.Alpha() != 3 {
+		t.Fatalf("header machines=%d alpha=%v", r.Machines(), r.Alpha())
+	}
+	j, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != 4 || j.Weight != 1 || j.Deadline != sched.NoDeadline {
+		t.Fatalf("first job %+v (weight must default to 1)", j)
+	}
+	j, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != 5 || j.Weight != 2 || j.Release != 1.5 {
+		t.Fatalf("second job %+v", j)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestNDJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty input", "", "missing header"},
+		{"bad header json", "{machines}", "bad header"},
+		{"zero machines", `{"machines":0}`, "at least one machine"},
+		{"unknown header field", `{"machines":1,"bogus":2}`, "bad header"},
+		{"malformed job line", "{\"machines\":1}\n{]", "line 2: bad job"},
+		{"unknown job field", "{\"machines\":1}\n{\"id\":0,\"release\":0,\"proc\":[1],\"nope\":1}", "line 2"},
+		{"trailing garbage", "{\"machines\":1}\n{\"id\":0,\"release\":0,\"proc\":[1]} extra", "line 2"},
+		{"wrong proc count", "{\"machines\":2}\n{\"id\":0,\"release\":0,\"proc\":[1]}", "processing times"},
+		{"nonpositive proc", "{\"machines\":1}\n{\"id\":0,\"release\":0,\"proc\":[0]}", "invalid p"},
+		{"negative release", "{\"machines\":1}\n{\"id\":0,\"release\":-2,\"proc\":[1]}", "invalid release"},
+		{"negative weight", "{\"machines\":1}\n{\"id\":0,\"release\":0,\"weight\":-1,\"proc\":[1]}", "weight"},
+		{"bad deadline", "{\"machines\":1}\n{\"id\":0,\"release\":3,\"deadline\":2,\"proc\":[1]}", "deadline"},
+		{
+			"out of order release",
+			"{\"machines\":1}\n{\"id\":0,\"release\":5,\"proc\":[1]}\n{\"id\":1,\"release\":1,\"proc\":[1]}",
+			"release order",
+		},
+	}
+	for _, tc := range cases {
+		r, err := NewNDJSONReader(strings.NewReader(tc.in))
+		for err == nil {
+			_, err = r.Next()
+			if err == io.EOF {
+				err = nil
+				break
+			}
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNDJSONOutOfOrderPositioned checks the error names the offending line.
+func TestNDJSONOutOfOrderPositioned(t *testing.T) {
+	in := "{\"machines\":1}\n{\"id\":0,\"release\":5,\"proc\":[1]}\n\n{\"id\":1,\"release\":1,\"proc\":[1]}\n"
+	r, err := NewNDJSONReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want line 4 position", err)
+	}
+}
