@@ -80,6 +80,9 @@ func BenchmarkE13_Table9_WeightedExtension(b *testing.B) { runExperiment(b, "E13
 // Table 10: streaming shard throughput (jobs/sec, allocs/job vs shards).
 func BenchmarkE14_Table10_StreamThroughput(b *testing.B) { runExperiment(b, "E14") }
 
+// Table 11: price of non-preemption across workload families.
+func BenchmarkE15_Table11_PriceOfNonPreemption(b *testing.B) { runExperiment(b, "E15") }
+
 // End-to-end scheduler throughput (jobs scheduled per op) on a fixed
 // overloaded workload; complements E10 with -benchmem numbers.
 func BenchmarkFlowtimeEndToEnd(b *testing.B) {

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (E1..E14) or 'all'")
+		exp   = flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
 		quick = flag.Bool("quick", false, "run scaled-down instances")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")

@@ -6,6 +6,7 @@
 //	schedsim -policy flowtime -eps 0.2 trace.json
 //	schedsim -policy wflow -eps 0.2 -parallel 4 trace.json
 //	schedsim -policy speedscale -eps 0.3 -alpha 2 trace.json
+//	schedsim -policy srpt trace.json
 //	schedsim -policy energymin deadline.json
 //	schedsim -policy greedy trace.json
 //	schedsim -policy flowtime -eps 0.2 -dump out.json trace.json
@@ -14,9 +15,18 @@
 // consumed incrementally — from a file or stdin ("-" or no argument) —
 // feeding each job into a streaming scheduler session at read time, never
 // materializing the instance. Only the session-backed policies (flowtime,
-// wflow, speedscale) support this mode:
+// wflow, speedscale, srpt, wsrpt) support this mode:
 //
 //	tracegen -ndjson -n 100000 | schedsim -stream -policy flowtime -eps 0.2
+//
+// With -compare the chosen non-preemptive policy (flowtime or wflow), its
+// preemptive engine-hosted counterpart (srpt or migratory wsrpt) and the
+// pooled preemptive SRPT lower bound all run on the same instance, and the
+// report adds the empirical "price of non-preemption" — the ratio of the
+// non-preemptive cost to the preemptive one on the matching objective:
+//
+//	schedsim -compare -policy flowtime -eps 0.2 trace.json
+//	schedsim -compare -policy wflow -eps 0.2 trace.json
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"repro/internal/core/energymin"
 	"repro/internal/core/flowtime"
 	"repro/internal/core/speedscale"
+	"repro/internal/core/srpt"
 	"repro/internal/core/wflow"
 	"repro/internal/engine"
 	"repro/internal/gantt"
@@ -40,16 +51,33 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "flowtime", "flowtime|wflow|speedscale|energymin|avr|greedy|fcfs|leastloaded|speedaug|immediate")
+		policy   = flag.String("policy", "flowtime", "flowtime|wflow|speedscale|srpt|wsrpt|energymin|avr|greedy|fcfs|leastloaded|speedaug|immediate")
 		eps      = flag.Float64("eps", 0.2, "rejection parameter ε")
 		alpha    = flag.Float64("alpha", 0, "power exponent override (0: use trace)")
 		epsS     = flag.Float64("epsS", 0.2, "speed augmentation (speedaug)")
 		parallel = flag.Int("parallel", 0, "dispatch worker count for the λ-dispatch policies (0: auto, 1: sequential)")
 		stream   = flag.Bool("stream", false, "consume an NDJSON trace incrementally (file or stdin)")
+		compare  = flag.Bool("compare", false, "run the policy, its preemptive counterpart and the SRPT bound on the same instance")
 		dump     = flag.String("dump", "", "write the outcome JSON to this file")
 		showG    = flag.Bool("gantt", false, "print an ASCII machine timeline")
 	)
 	flag.Parse()
+	if *compare {
+		if *stream {
+			fmt.Fprintln(os.Stderr, "schedsim: -compare needs the full instance and does not combine with -stream")
+			os.Exit(2)
+		}
+		if *dump != "" || *showG {
+			fmt.Fprintln(os.Stderr, "schedsim: -compare runs several schedulers and does not combine with -dump or -gantt")
+			os.Exit(2)
+		}
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: schedsim -compare [-policy flowtime|wflow] [flags] trace.json")
+			os.Exit(2)
+		}
+		runCompare(*policy, *eps, *parallel, flag.Arg(0))
+		return
+	}
 	if *stream {
 		if flag.NArg() > 1 {
 			fmt.Fprintln(os.Stderr, "usage: schedsim -stream [flags] [trace.ndjson|-]")
@@ -94,6 +122,22 @@ func main() {
 			fatal(err)
 		}
 		out = res.Outcome
+	case "srpt":
+		res, err := srpt.Run(ins, srpt.Options{ParallelDispatch: *parallel})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+		mode.AllowPreemption = true
+		mode.RequireUnitSpeed = true
+	case "wsrpt":
+		res, err := srpt.RunWeighted(ins, srpt.WeightedOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Outcome
+		mode.AllowMigration = true
+		mode.RequireUnitSpeed = true
 	case "energymin", "avr":
 		res, err := energymin.Run(ins, energymin.Options{Alpha: *alpha, FullWindowOnly: *policy == "avr"})
 		if err != nil {
@@ -239,8 +283,34 @@ func runStream(policy string, eps, alpha float64, parallel int, path, dump strin
 			}
 			return res.Outcome, nil
 		}
+	case "srpt":
+		s, err := srpt.NewSession(r.Machines(), srpt.Options{ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		fd = s
+		finish = func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}
+	case "wsrpt":
+		s, err := srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fd = s
+		finish = func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "schedsim: policy %q does not support -stream (use flowtime|wflow|speedscale)\n", policy)
+		fmt.Fprintf(os.Stderr, "schedsim: policy %q does not support -stream (use flowtime|wflow|speedscale|srpt|wsrpt)\n", policy)
 		os.Exit(2)
 	}
 
@@ -310,6 +380,121 @@ func runStream(policy string, eps, alpha float64, parallel int, path, dump strin
 			fatal(err)
 		}
 	}
+}
+
+// runCompare runs a non-preemptive policy, its preemptive engine-hosted
+// counterpart and the pooled preemptive SRPT lower bound on the same
+// instance: flowtime pairs with per-machine SRPT on total flow time, wflow
+// with migratory weighted SRPT on weighted flow time. Every outcome is
+// audited before its metrics count.
+//
+// Two headline ratios come out. The clean "price of non-preemption" divides
+// non-preemptive greedy SPT (which, like the preemptive comparator, serves
+// every job) by the preemptive cost — what the ability to preempt alone
+// buys. The "rejection vs preemption" ratio divides the paper algorithm's
+// cost by the preemptive cost; since its rejected jobs pay flow only until
+// their rejection instant (the paper's accounting), this ratio can dip
+// below 1 under overload — rejection substituting for preemption, the §1
+// claim E15 quantifies across workload families.
+func runCompare(policy string, eps float64, parallel int, path string) {
+	ins, err := trace.LoadInstance(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		nonName, preName string
+		nonOut, preOut   *sched.Outcome
+		preMode          sched.ValidateMode
+		rejected         int
+		preempt, migrate int
+		objective        string
+		costOf           func(sched.Metrics) float64
+	)
+	switch policy {
+	case "flowtime":
+		nonName, preName, objective = "flowtime (non-preemptive)", "srpt (preemptive)", "total flow"
+		costOf = func(m sched.Metrics) float64 { return m.TotalFlow }
+		nres, err := flowtime.Run(ins, flowtime.Options{Epsilon: eps, ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		pres, err := srpt.Run(ins, srpt.Options{ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		nonOut, preOut = nres.Outcome, pres.Outcome
+		rejected, preempt = nres.Rule1Rejections+nres.Rule2Rejections, pres.Preemptions
+		preMode = sched.ValidateMode{AllowPreemption: true, RequireUnitSpeed: true}
+	case "wflow":
+		nonName, preName, objective = "wflow (non-preemptive)", "wsrpt (preemptive, migratory)", "weighted flow"
+		costOf = func(m sched.Metrics) float64 { return m.WeightedFlow }
+		nres, err := wflow.Run(ins, wflow.Options{Epsilon: eps, ParallelDispatch: parallel})
+		if err != nil {
+			fatal(err)
+		}
+		pres, err := srpt.RunWeighted(ins, srpt.WeightedOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		nonOut, preOut = nres.Outcome, pres.Outcome
+		rejected, preempt, migrate = nres.Rule1Rejections+nres.Rule2Rejections, pres.Preemptions, pres.Migrations
+		preMode = sched.ValidateMode{AllowMigration: true, RequireUnitSpeed: true}
+	default:
+		fmt.Fprintf(os.Stderr, "schedsim: -compare pairs flowtime or wflow with a preemptive counterpart, not %q\n", policy)
+		os.Exit(2)
+	}
+
+	greedyOut, err := baseline.GreedySPT(ins)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sched.ValidateOutcome(ins, nonOut, sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
+		fatal(fmt.Errorf("non-preemptive outcome failed audit: %w", err))
+	}
+	if err := sched.ValidateOutcome(ins, preOut, preMode); err != nil {
+		fatal(fmt.Errorf("preemptive outcome failed audit: %w", err))
+	}
+	if err := sched.ValidateOutcome(ins, greedyOut, sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
+		fatal(fmt.Errorf("greedy outcome failed audit: %w", err))
+	}
+	nm, err := sched.ComputeMetrics(ins, nonOut)
+	if err != nil {
+		fatal(err)
+	}
+	pm, err := sched.ComputeMetrics(ins, preOut)
+	if err != nil {
+		fatal(err)
+	}
+	gm, err := sched.ComputeMetrics(ins, greedyOut)
+	if err != nil {
+		fatal(err)
+	}
+	nonCost, preCost, greedyCost := costOf(nm), costOf(pm), costOf(gm)
+	bound := lowerbound.SRPTBound(ins)
+
+	t := stats.NewTable(fmt.Sprintf("schedsim -compare: %s on %s (n=%d, m=%d, ε=%v)", policy, path, len(ins.Jobs), ins.Machines, eps),
+		"metric", "value")
+	t.AddRowf(fmt.Sprintf("%s %s", nonName, objective), nonCost)
+	t.AddRowf(fmt.Sprintf("greedy SPT (non-preemptive, no rejections) %s", objective), greedyCost)
+	t.AddRowf(fmt.Sprintf("%s %s", preName, objective), preCost)
+	t.AddRowf("LB pooled SRPT (total flow)", bound)
+	if preCost > 0 {
+		t.AddRowf("price of non-preemption (greedy/preemptive)", greedyCost/preCost)
+		t.AddRowf("rejection vs preemption (policy/preemptive)", nonCost/preCost)
+	}
+	// The pooled SRPT bound holds for total flow only, so the LB ratios are
+	// always on total flow — even when the headline objective is weighted.
+	if bound > 0 {
+		t.AddRowf(fmt.Sprintf("%s total flow / LB", preName), pm.TotalFlow/bound)
+		t.AddRowf(fmt.Sprintf("%s total flow / LB", nonName), nm.TotalFlow/bound)
+	}
+	t.AddRowf("rejected (non-preemptive)", rejected)
+	t.AddRowf("preemptions", preempt)
+	if policy == "wflow" {
+		t.AddRowf("migrations", migrate)
+	}
+	fmt.Println(t)
 }
 
 func fatal(err error) {

@@ -9,7 +9,8 @@
 //   - cmd/schedbench — regenerate every experiment table/figure
 //   - cmd/tracegen, cmd/schedsim — generate workload traces and replay them
 //     under any implemented policy, in batch or streaming (-stream, NDJSON)
-//     form
+//     form; schedsim -compare prices non-preemption against the
+//     engine-hosted preemptive SRPT comparators
 //   - examples/* — six runnable scenarios built on the library API
 //
 // The benchmarks in bench_test.go (this package) drive the experiment suite

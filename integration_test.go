@@ -13,6 +13,7 @@ import (
 	"repro/internal/core/energymin"
 	"repro/internal/core/flowtime"
 	"repro/internal/core/speedscale"
+	"repro/internal/core/srpt"
 	"repro/internal/lowerbound"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -114,6 +115,13 @@ func TestPipelineRoundTrip(t *testing.T) {
 		{"greedy", sched.ValidateMode{RequireUnitSpeed: true}, baseline.GreedySPT},
 		{"fcfs", sched.ValidateMode{RequireUnitSpeed: true}, baseline.FCFS},
 		{"srpt", sched.ValidateMode{RequireUnitSpeed: true, AllowPreemption: true}, baseline.PreemptiveSRPT},
+		{"wsrpt", sched.ValidateMode{RequireUnitSpeed: true, AllowMigration: true}, func(in *sched.Instance) (*sched.Outcome, error) {
+			r, err := srpt.RunWeighted(in, srpt.WeightedOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Outcome, nil
+		}},
 	}
 	for _, p := range policies {
 		out, err := p.run(loaded)

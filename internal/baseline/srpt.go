@@ -1,10 +1,7 @@
 package baseline
 
 import (
-	"math"
-
-	"repro/internal/eventq"
-	"repro/internal/ostree"
+	"repro/internal/core/srpt"
 	"repro/internal/sched"
 )
 
@@ -17,97 +14,16 @@ import (
 // *ability to preempt* buys on the same instances (it is optimal for total
 // flow time on a single machine). Outcomes validate only with
 // sched.ValidateMode{AllowPreemption: true}.
+//
+// The policy is hosted on internal/engine via internal/core/srpt — the
+// private event loop that used to live here is gone, and the golden
+// equivalence test in that package pins the engine-hosted outcomes
+// bit-identical to it. Use srpt.Run directly for the preemption counters or
+// srpt.NewSession for the streaming form.
 func PreemptiveSRPT(ins *sched.Instance) (*sched.Outcome, error) {
-	if err := ins.Validate(); err != nil {
+	res, err := srpt.Run(ins, srpt.Options{})
+	if err != nil {
 		return nil, err
 	}
-	out := sched.NewOutcomeSized(len(ins.Jobs))
-	// Events carry compact job indices (always < n, fitting the int32
-	// payload for any ID space); treap keys and the outcome use real IDs.
-	ix := ins.Index()
-
-	type pmachine struct {
-		waiting *ostree.Tree // Key.P = frozen remaining time
-
-		running  int
-		runStart float64
-		runRem   float64 // remaining at runStart
-		runSeq   int
-	}
-	machines := make([]*pmachine, ins.Machines)
-	for i := range machines {
-		machines[i] = &pmachine{waiting: ostree.New(uint64(0x5e11) + uint64(i)), running: -1}
-	}
-	var q eventq.Queue
-	q.Grow(2 * len(ins.Jobs))
-	for k := range ins.Jobs {
-		q.Push(eventq.Event{Time: ins.Jobs[k].Release, Kind: eventq.KindArrival, Job: int32(k), Machine: -1})
-	}
-	seq := 0
-	start := func(i int, t float64, id int, rem float64) {
-		m := machines[i]
-		m.running = id
-		m.runStart = t
-		m.runRem = rem
-		seq++
-		m.runSeq = seq
-		q.Push(eventq.Event{Time: t + rem, Kind: eventq.KindCompletion, Job: int32(ix.Of(id)), Machine: int32(i), Version: int32(seq)})
-	}
-	startNext := func(i int, t float64) {
-		m := machines[i]
-		if key, ok := m.waiting.DeleteMin(); ok {
-			start(i, t, key.ID, key.P)
-		}
-	}
-	for q.Len() > 0 {
-		e := q.Pop()
-		switch e.Kind {
-		case eventq.KindArrival:
-			j := ix.Job(int(e.Job))
-			best, bestCost := 0, math.Inf(1)
-			for i := 0; i < ins.Machines; i++ {
-				m := machines[i]
-				cost := m.waiting.SumP() + j.Proc[i]
-				if m.running != -1 {
-					cost += m.runRem - (e.Time - m.runStart)
-				}
-				if cost < bestCost {
-					best, bestCost = i, cost
-				}
-			}
-			m := machines[best]
-			out.Assigned[j.ID] = best
-			p := j.Proc[best]
-			if m.running == -1 {
-				start(best, e.Time, j.ID, p)
-				break
-			}
-			curRem := m.runRem - (e.Time - m.runStart)
-			if p < curRem-sched.Eps {
-				// Preempt: bank the running job's progress.
-				if e.Time > m.runStart+sched.Eps {
-					out.Intervals = append(out.Intervals, sched.Interval{
-						Job: m.running, Machine: best, Start: m.runStart, End: e.Time, Speed: 1,
-					})
-				}
-				m.waiting.Insert(ostree.Key{P: curRem, Release: ix.JobByID(m.running).Release, ID: m.running})
-				start(best, e.Time, j.ID, p)
-			} else {
-				m.waiting.Insert(ostree.Key{P: p, Release: j.Release, ID: j.ID})
-			}
-		case eventq.KindCompletion:
-			m := machines[e.Machine]
-			id := ix.ID(int(e.Job))
-			if m.running != id || m.runSeq != int(e.Version) {
-				continue // preempted; stale completion
-			}
-			out.Intervals = append(out.Intervals, sched.Interval{
-				Job: id, Machine: int(e.Machine), Start: m.runStart, End: e.Time, Speed: 1,
-			})
-			out.Completed[id] = e.Time
-			m.running = -1
-			startNext(int(e.Machine), e.Time)
-		}
-	}
-	return out, nil
+	return res.Outcome, nil
 }

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core/flowtime"
+	"repro/internal/core/srpt"
+	"repro/internal/lowerbound"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E15", Kind: "table",
+		Title: "Price of non-preemption: engine-hosted SRPT vs the non-preemptive policies",
+		Claim: "§1 + lower bounds: the hardness of non-preemptive scheduling is exactly the gap preemption closes; rejection substitutes for it",
+		Run:   runE15,
+	})
+}
+
+// runE15 measures the empirical price of non-preemption across workload
+// families, the schedsim -compare pipeline in experiment form. On each
+// instance three audited schedulers run — non-preemptive greedy SPT (serves
+// everything), the paper's §2 algorithm (non-preemptive with rejections,
+// rejected jobs paying flow until their rejection instant), and the
+// engine-hosted preemptive SRPT comparator — plus the pooled preemptive
+// SRPT lower bound. Two ratios matter: greedy/SRPT is the clean price of
+// non-preemption (both serve every job), and A/SRPT shows how far the
+// rejection budget substitutes for the ability to preempt (the paper's §1
+// claim; under overload it dips below 1 because rejected flow is truncated).
+func runE15(cfg Config) (fmt.Stringer, error) {
+	const eps = 0.2
+	type family struct {
+		name string
+		ins  *sched.Instance
+	}
+	n := cfg.scale(4000, 800)
+	var families []family
+	{
+		c := workload.DefaultConfig(n, 4, 11)
+		c.Load = 0.9
+		families = append(families, family{"random uniform", workload.Random(c)})
+	}
+	{
+		c := workload.DefaultConfig(n, 4, 12)
+		c.Load = 0.95
+		c.Sizes = workload.SizePareto
+		c.MaxSize = 200
+		families = append(families, family{"heavy-tail Pareto", workload.Random(c)})
+	}
+	{
+		c := workload.DefaultConfig(n, 4, 13)
+		c.Sizes = workload.SizeBimodal
+		c.Arrivals = workload.ArrivalsBursty
+		c.BurstSize = 40
+		c.Load = 1.0
+		families = append(families, family{"tie-heavy bursty", workload.Random(c)})
+	}
+	families = append(families, family{"adversarial Lemma 1",
+		workload.Lemma1Instance(float64(cfg.scale(24, 10)), eps)})
+
+	t := stats.NewTable(fmt.Sprintf("E15 — price of non-preemption (ε=%v)", eps),
+		"family", "n", "greedy/SRPT", "A/SRPT", "SRPT/LB", "rejected", "preempts", "audits")
+	for _, f := range families {
+		ins := f.ins
+		greedy, err := baseline.GreedySPT(ins)
+		if err != nil {
+			return nil, err
+		}
+		ares, err := flowtime.Run(ins, flowtime.Options{Epsilon: eps})
+		if err != nil {
+			return nil, err
+		}
+		pres, err := srpt.Run(ins, srpt.Options{})
+		if err != nil {
+			return nil, err
+		}
+		audits := sched.ValidateOutcome(ins, greedy, sched.ValidateMode{RequireUnitSpeed: true}) == nil &&
+			sched.ValidateOutcome(ins, ares.Outcome, sched.ValidateMode{RequireUnitSpeed: true}) == nil &&
+			sched.ValidateOutcome(ins, pres.Outcome, sched.ValidateMode{AllowPreemption: true, RequireUnitSpeed: true}) == nil
+		gm, err := sched.ComputeMetrics(ins, greedy)
+		if err != nil {
+			return nil, err
+		}
+		am, err := sched.ComputeMetrics(ins, ares.Outcome)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := sched.ComputeMetrics(ins, pres.Outcome)
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.SRPTBound(ins)
+		t.AddRowf(f.name, len(ins.Jobs),
+			gm.TotalFlow/pm.TotalFlow, am.TotalFlow/pm.TotalFlow, pm.TotalFlow/lb,
+			am.Rejected, pres.Preemptions, okMark(audits))
+	}
+	return t, nil
+}

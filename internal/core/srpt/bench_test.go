@@ -1,0 +1,34 @@
+package srpt
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func BenchmarkSRPT10kJobs4Machines(b *testing.B) {
+	cfg := workload.DefaultConfig(10000, 4, 3)
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ins, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWSRPT10kJobs4Machines(b *testing.B) {
+	cfg := workload.DefaultConfig(10000, 4, 3)
+	cfg.Load = 1.1
+	cfg.Weighted = true
+	ins := workload.Random(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWeighted(ins, WeightedOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package srpt
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Session is a streaming per-machine preemptive SRPT run: jobs are fed one
+// at a time in release order and scheduled online. A session with the same
+// options produces an Outcome bit-identical to a batch Run over the same
+// jobs (pinned by the equivalence tests), so it plugs into schedsim -stream
+// and engine.Shard exactly like the λ-dispatch policies.
+type Session struct {
+	es *engine.Session
+	p  *policy
+}
+
+// NewSession starts a streaming run on the given number of machines.
+func NewSession(machines int, opt Options) (*Session, error) {
+	return newSession(machines, opt, 0)
+}
+
+func newSession(machines int, opt Options, hint int) (*Session, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("srpt: session needs at least one machine, got %d", machines)
+	}
+	p := newPolicy(opt, machines)
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return &Session{es: es, p: p}, nil
+}
+
+// Feed admits the next job of the stream (releases must be non-decreasing)
+// and advances the simulation as far as the fed releases allow.
+func (s *Session) Feed(j sched.Job) error { return s.es.Feed(j) }
+
+// AdvanceTo declares that no job released before t will ever be fed and
+// advances the simulation through time t.
+func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
+
+// Close drains the run to completion and returns the audited result.
+func (s *Session) Close() (*Result, error) {
+	out, err := s.es.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := s.p.res
+	res.Outcome = out
+	return res, nil
+}
+
+// Run executes per-machine preemptive SRPT on the instance. It is a thin
+// wrapper over a Session fed from the instance's job slice, with storage
+// preallocated for the known size.
+func Run(ins *sched.Instance, opt Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSession(ins.Machines, opt, len(ins.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	for k := range ins.Jobs {
+		if err := s.Feed(ins.Jobs[k]); err != nil {
+			s.Close() // release the dispatch pool; the feed error wins
+			return nil, err
+		}
+	}
+	return s.Close()
+}
+
+// WeightedSession is the streaming front-end of the migratory weighted-SRPT
+// comparator, with the same Feed/AdvanceTo/Close contract as Session.
+type WeightedSession struct {
+	es *engine.Session
+	p  *wpolicy
+}
+
+// NewWeightedSession starts a streaming migratory weighted-SRPT run.
+func NewWeightedSession(machines int, opt WeightedOptions) (*WeightedSession, error) {
+	return newWeightedSession(machines, opt, 0)
+}
+
+func newWeightedSession(machines int, _ WeightedOptions, hint int) (*WeightedSession, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("srpt: session needs at least one machine, got %d", machines)
+	}
+	p := newWPolicy()
+	if hint > 0 {
+		p.frac = make([]float64, 0, hint)
+		p.pmin = make([]float64, 0, hint)
+		p.lastMach = make([]int32, 0, hint)
+	}
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedSession{es: es, p: p}, nil
+}
+
+// Feed admits the next job of the stream.
+func (s *WeightedSession) Feed(j sched.Job) error { return s.es.Feed(j) }
+
+// AdvanceTo declares that no job released before t will ever be fed.
+func (s *WeightedSession) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
+
+// Close drains the run to completion and returns the audited result.
+func (s *WeightedSession) Close() (*WeightedResult, error) {
+	out, err := s.es.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := s.p.res
+	res.Outcome = out
+	return res, nil
+}
+
+// RunWeighted executes the migratory weighted-SRPT comparator on the
+// instance via a hinted streaming session, like Run.
+func RunWeighted(ins *sched.Instance, opt WeightedOptions) (*WeightedResult, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newWeightedSession(ins.Machines, opt, len(ins.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	for k := range ins.Jobs {
+		if err := s.Feed(ins.Jobs[k]); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s.Close()
+}

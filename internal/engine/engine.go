@@ -5,7 +5,13 @@
 // invalidates completion events of interrupted executions, the completion
 // and rejection recording into a sched.Outcome, and the end-of-run sanity
 // audit — and drives a Policy that supplies the algorithmic decisions
-// (dispatch, service order, rejection rules, dual bookkeeping).
+// (dispatch, service order, preemption, rejection rules, dual bookkeeping).
+//
+// Preemption is first-class: Core.Preempt stops a running job, returns its
+// remaining volume and leaves it re-startable — on the same machine or,
+// rescaled, on any other — through the same Start primitive, which accepts
+// partial volumes. The audit checks conservation of volume across every
+// preemption chain, so a policy cannot silently lose or duplicate work.
 //
 // The engine is consumed through a Session, a true streaming API: jobs are
 // fed one at a time in release order (Feed), simulated time advances either
@@ -34,6 +40,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/eventq"
 	"repro/internal/sched"
@@ -41,7 +48,7 @@ import (
 
 // Policy supplies the algorithmic decisions of one online scheduler. The
 // engine invokes the hooks from its event loop; the policy reacts by calling
-// the Core primitives (Start, RejectRunning, RejectPending, Assign,
+// the Core primitives (Start, Preempt, RejectRunning, RejectPending, Assign,
 // Bookkeep). All hooks run on the session's goroutine — policies need no
 // internal locking, but their dispatch evaluations may shard across
 // internal/dispatch workers as before.
@@ -115,6 +122,12 @@ type Core struct {
 	q    eventq.Queue
 	mach []MachineState
 	jobs []sched.Job
+	// done[jk] is the fraction of job jk's required work executed so far,
+	// accumulated machine-relatively (each segment contributes its executed
+	// volume divided by the job's Proc on that machine). It feeds the
+	// end-of-run conservation audit: completed jobs must reach exactly 1
+	// across their whole preemption chain, and no job may exceed 1.
+	done []float64
 	ids  idIndex
 	out  *sched.Outcome
 	seq  int32
@@ -127,6 +140,7 @@ func (c *Core) init(pol Policy, opt Options) {
 		c.mach[i].Running = -1
 	}
 	c.jobs = make([]sched.Job, 0, opt.SizeHint)
+	c.done = make([]float64, 0, opt.SizeHint)
 	c.ids.reserve(opt.SizeHint)
 	c.out = sched.NewOutcomeSized(opt.SizeHint)
 	eh := opt.EventHint
@@ -162,6 +176,16 @@ func (c *Core) Assign(jk, i int) { c.out.Assigned[c.jobs[jk].ID] = i }
 // Start begins executing job jk on machine i at time t with the given
 // processing volume and (frozen) speed, bumping the machine's start version
 // and scheduling the matching completion event at t + vol/speed.
+//
+// Start is the resume path of the Preempt primitive: vol may be any partial
+// volume, so a job preempted with remaining volume r resumes with
+// Start(i', t', jk, r', speed) — on the same machine (r' = r) or, after
+// rescaling to the new machine's processing time (r' = r/p_ij·p_i'j), on any
+// other. Volumes are expressed in the units of Job.Proc on the target
+// machine; the conservation audit holds every preemption chain to exactly
+// one job's worth of work. The machine must be idle (Preempt or a
+// completion first) — starting over a running execution would orphan its
+// partial interval.
 func (c *Core) Start(i int, t float64, jk int, vol, speed float64) {
 	m := &c.mach[i]
 	m.Running = int32(jk)
@@ -176,26 +200,45 @@ func (c *Core) Start(i int, t float64, jk int, vol, speed float64) {
 	})
 }
 
-// RejectRunning interrupts machine i's execution at time t: the partial
-// interval (if long enough to matter) and the rejection are recorded, the
-// machine is marked idle, and the interrupted job's compact index and
-// remaining volume are returned. The pending completion event goes stale
-// via the version guard. The policy decides what (if anything) runs next.
-func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
+// Preempt stops machine i's execution at time t without deciding the job's
+// fate: the partial interval (if long enough to matter) is recorded, the
+// machine is marked idle, the pending completion event goes stale via the
+// runSeq version guard, and the interrupted job's compact index and
+// remaining volume (in machine-i Proc units) are returned. The job stays
+// live — the policy re-starts it later with the remaining volume on this
+// machine, or on any other after rescaling (see Start). Preempt on an idle
+// machine is a policy bug and panics via the jobs[-1] bounds check.
+func (c *Core) Preempt(i int, t float64) (jk int, remVol float64) {
 	m := &c.mach[i]
 	jk = int(m.Running)
-	remVol = m.RunVol - (t-m.RunStart)*m.RunSpeed
+	executed := (t - m.RunStart) * m.RunSpeed
+	remVol = m.RunVol - executed
 	if remVol < 0 {
 		remVol = 0
 	}
-	id := c.jobs[jk].ID
+	if executed > 0 {
+		// Conservation tracks true execution even when the sliver below is
+		// too short to record as an interval.
+		c.done[jk] += executed / c.jobs[jk].Proc[i]
+	}
 	if t-m.RunStart > sched.Eps {
 		c.out.Intervals = append(c.out.Intervals, sched.Interval{
-			Job: id, Machine: i, Start: m.RunStart, End: t, Speed: m.RunSpeed,
+			Job: c.jobs[jk].ID, Machine: i, Start: m.RunStart, End: t, Speed: m.RunSpeed,
 		})
 	}
-	c.out.Rejected[id] = t
 	m.Running = -1
+	return jk, remVol
+}
+
+// RejectRunning interrupts machine i's execution at time t: the partial
+// interval (if long enough to matter) and the rejection are recorded, the
+// machine is marked idle, and the interrupted job's compact index and
+// remaining volume are returned. It is Preempt followed by recording the
+// rejection — the pending completion event goes stale via the version
+// guard. The policy decides what (if anything) runs next.
+func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
+	jk, remVol = c.Preempt(i, t)
+	c.out.Rejected[c.jobs[jk].ID] = t
 	return jk, remVol
 }
 
@@ -230,6 +273,9 @@ func (c *Core) handle(e eventq.Event) {
 			Job: id, Machine: int(e.Machine), Start: m.RunStart, End: e.Time, Speed: m.RunSpeed,
 		})
 		c.out.Completed[id] = e.Time
+		// The started volume ran to completion; for a never-preempted job
+		// vol is an exact copy of Proc, so done lands on exactly 1.
+		c.done[e.Job] += m.RunVol / c.jobs[e.Job].Proc[e.Machine]
 		m.Running = -1
 		c.pol.OnCompletion(e.Time, int(e.Machine), int(e.Job))
 		c.pol.OnIdle(e.Time, int(e.Machine))
@@ -237,6 +283,12 @@ func (c *Core) handle(e eventq.Event) {
 		c.pol.OnBookkeeping(e.Time, int(e.Machine), int(e.Job))
 	}
 }
+
+// volAuditTol is the relative tolerance of the conservation audit. A
+// never-preempted job lands on exactly 1; a preemption chain accumulates one
+// rounding error per segment plus one per cross-machine rescale, all of
+// order 1 ulp, so even thousand-segment chains sit far inside 1e-6.
+const volAuditTol = 1e-6
 
 // audit checks the engine-owned end-of-run invariants.
 func (c *Core) audit() error {
@@ -247,6 +299,25 @@ func (c *Core) audit() error {
 	}
 	if got := len(c.out.Completed) + len(c.out.Rejected); got != len(c.jobs) {
 		return fmt.Errorf("engine: internal invariant violated: %d jobs accounted, want %d", got, len(c.jobs))
+	}
+	// Conservation of volume across preemption chains: every completed job
+	// received exactly its processing requirement (each segment counted
+	// relative to the machine it ran on), and no job — rejected ones
+	// included — was over-served. The d == 1 fast path keeps the audit a
+	// float compare per job on the non-preemptive schedulers.
+	for jk := range c.jobs {
+		d := c.done[jk]
+		if d == 1 {
+			continue
+		}
+		if _, completed := c.out.Completed[c.jobs[jk].ID]; completed {
+			if math.Abs(d-1) > volAuditTol {
+				return fmt.Errorf("engine: internal invariant violated: job %d completed with %v of its volume executed across its preemption chain",
+					c.jobs[jk].ID, d)
+			}
+		} else if d > 1+volAuditTol {
+			return fmt.Errorf("engine: internal invariant violated: job %d over-served (%v of its volume) before rejection", c.jobs[jk].ID, d)
+		}
 	}
 	return nil
 }

@@ -63,6 +63,7 @@ func (s *Session) Feed(j sched.Job) error {
 		return fmt.Errorf("engine: duplicate job id %d", j.ID)
 	}
 	c.jobs = append(c.jobs, j)
+	c.done = append(c.done, 0)
 	c.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: int32(jk), Machine: -1})
 	if j.Release > s.last {
 		s.last = j.Release

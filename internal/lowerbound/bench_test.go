@@ -1,0 +1,21 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkSRPTBound measures the pooled-SRPT bound computation on the same
+// 10k-job workload the scheduler benchmarks use, pinning the eventq-backed
+// simulation (one heap op per release/completion, no interface boxing).
+func BenchmarkSRPTBound(b *testing.B) {
+	cfg := workload.DefaultConfig(10000, 4, 3)
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SRPTBound(ins)
+	}
+}

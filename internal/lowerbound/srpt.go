@@ -1,9 +1,7 @@
 package lowerbound
 
 import (
-	"container/heap"
-	"sort"
-
+	"repro/internal/eventq"
 	"repro/internal/sched"
 )
 
@@ -18,65 +16,56 @@ import (
 //     exactly (Schrage's rule).
 //
 // It is typically much tighter than Σ_j p̃_j under load.
+//
+// The simulation runs on the shared internal/eventq 4-ary heap (Event.Time
+// carries the remaining size; the other payload fields are unused), keyed
+// off a single pass over the instance's jobs — already sorted by release
+// per the Instance invariant — so the bound computation uses the same tuned
+// primitives as the schedulers it bounds, with no per-job interface boxing
+// and no redundant sort.
 func SRPTBound(ins *sched.Instance) float64 {
-	type jb struct {
-		release float64
-		rem     float64
-	}
-	jobs := make([]jb, 0, len(ins.Jobs))
-	var releaseSum float64
-	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		jobs = append(jobs, jb{release: j.Release, rem: j.MinProc()})
-		releaseSum += j.Release
-	}
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].release < jobs[b].release })
-
 	speed := float64(ins.Machines)
-	h := &remHeap{}
-	var completionSum float64
+	var q eventq.Queue
+	q.Grow(len(ins.Jobs))
+	var completionSum, releaseSum float64
 	t := 0.0
 	next := 0
-	for next < len(jobs) || h.Len() > 0 {
-		if h.Len() == 0 {
-			if jobs[next].release > t {
-				t = jobs[next].release
+	jobs := ins.Jobs
+	admit := func() {
+		j := &jobs[next]
+		q.Push(eventq.Event{Time: j.MinProc()})
+		releaseSum += j.Release
+		next++
+	}
+	for next < len(jobs) || q.Len() > 0 {
+		if q.Len() == 0 {
+			if r := jobs[next].Release; r > t {
+				t = r
 			}
-			heap.Push(h, jobs[next].rem)
-			next++
+			admit()
 			continue
 		}
 		// Run the smallest remaining job until it finishes or the next
 		// release, whichever comes first.
-		rem := (*h)[0]
+		rem := q.Peek().Time
 		finish := t + rem/speed
-		if next < len(jobs) && jobs[next].release < finish {
-			dt := jobs[next].release - t
-			(*h)[0] = rem - dt*speed
-			heap.Fix(h, 0)
-			t = jobs[next].release
-			heap.Push(h, jobs[next].rem)
-			next++
+		if next < len(jobs) && jobs[next].Release < finish {
+			// The Instance invariant allows releases to decrease within
+			// Eps; clamp dt at 0 so a locally disordered release never
+			// steps time backwards or inflates the remaining size.
+			if dt := jobs[next].Release - t; dt > 0 {
+				e := q.Pop()
+				e.Time = rem - dt*speed
+				q.Push(e)
+				t = jobs[next].Release
+			}
+			admit()
 			continue
 		}
-		heap.Pop(h)
+		q.Pop()
 		t = finish
 		completionSum += finish
 	}
 	// Total flow = Σ(C_j − r_j); only the multisets matter.
 	return completionSum - releaseSum
-}
-
-type remHeap []float64
-
-func (h remHeap) Len() int           { return len(h) }
-func (h remHeap) Less(a, b int) bool { return h[a] < h[b] }
-func (h remHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
-func (h *remHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *remHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }

@@ -123,10 +123,22 @@ type ValidateMode struct {
 	// energy model). Default false: machines run one job at a time.
 	AllowParallel bool
 	// AllowPreemption permits a job to execute in multiple intervals
-	// (used only by the preemptive reference comparator; the paper's
+	// (used only by the preemptive reference comparators; the paper's
 	// algorithms are all non-preemptive). All of a job's intervals must
-	// still be on one machine and deliver the full processing volume.
+	// still be on one machine and deliver the full processing volume:
+	// the sum of its executed segments must equal its processing time on
+	// the completing machine.
 	AllowPreemption bool
+	// AllowMigration additionally permits a preempted job's segments to
+	// run on different machines (the migratory comparator). Volume
+	// conservation is then accounted machine-relatively: each segment
+	// contributes the fraction work/p_ij of the machine it ran on, and a
+	// completed job's fractions must sum to 1 — equivalently, its
+	// segments rescaled to the completing machine sum to that machine's
+	// processing time. Implies the multi-interval checks of
+	// AllowPreemption; the machine-assignment cross-check is skipped
+	// (dispatch and completion machines legitimately differ).
+	AllowMigration bool
 	// RequireDeadlines enforces completion before each job's deadline.
 	RequireDeadlines bool
 	// RequireUnitSpeed requires every interval to run at speed 1.
@@ -139,7 +151,9 @@ type ValidateMode struct {
 //   - executions start at/after release and, per job, form one contiguous
 //     constant-speed block (non-preemption); rejected jobs may have one
 //     partial block ending at the rejection time;
-//   - completed jobs receive their full processing volume on their machine;
+//   - completed jobs receive their full processing volume on their machine —
+//     under AllowPreemption summed over segments, under AllowMigration
+//     summed machine-relatively (fractions work/p_ij adding to 1);
 //   - machines run at most one job at a time unless AllowParallel;
 //   - deadlines hold when RequireDeadlines.
 func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
@@ -170,32 +184,71 @@ func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
 			return fmt.Errorf("sched: job %d neither completed nor rejected", j.ID)
 		}
 		ivs := byJob[j.ID]
-		if len(ivs) > 1 && !mode.AllowPreemption {
+		if len(ivs) > 1 && !mode.AllowPreemption && !mode.AllowMigration {
 			return fmt.Errorf("sched: job %d executed in %d separate intervals (preempted)", j.ID, len(ivs))
 		}
-		var work, lastEnd float64
-		machine := -1
+		// work accumulates delivered volume; under AllowMigration it
+		// accumulates the machine-relative fraction work/p_ij instead, so
+		// conservation is checked against 1 rather than one machine's
+		// processing time. completing tracks the machine of the
+		// latest-ending segment.
+		var work, lastEnd, prevEnd float64
+		machine, completing := -1, -1
 		for _, iv := range ivs {
 			if iv.Start < j.Release-Eps {
 				return fmt.Errorf("sched: job %d started %v before release %v", j.ID, iv.Start, j.Release)
 			}
 			if machine == -1 {
 				machine = iv.Machine
-			} else if machine != iv.Machine {
+			} else if machine != iv.Machine && !mode.AllowMigration {
 				return fmt.Errorf("sched: job %d migrated between machines %d and %d", j.ID, machine, iv.Machine)
 			}
-			work += iv.Work()
+			// A job is sequential even when migratory: its segments (sorted
+			// by start) must be disjoint in time, or the job would execute
+			// on two machines at once — a hole the per-machine overlap
+			// check below cannot see.
+			if mode.AllowMigration && iv.Start < prevEnd-Eps*(1+prevEnd) {
+				return fmt.Errorf("sched: job %d executes on machines concurrently (segment at %v starts before %v)", j.ID, iv.Start, prevEnd)
+			}
+			if iv.End > prevEnd {
+				prevEnd = iv.End
+			}
+			if mode.AllowMigration {
+				work += iv.Work() / j.Proc[iv.Machine]
+			} else {
+				work += iv.Work()
+			}
 			if iv.End > lastEnd {
 				lastEnd = iv.End
+				completing = iv.Machine
 			}
 		}
 		if done {
 			if len(ivs) == 0 {
 				return fmt.Errorf("sched: completed job %d has no execution", j.ID)
 			}
-			need := j.Proc[machine]
-			if math.Abs(work-need) > Eps*(1+need) {
-				return fmt.Errorf("sched: job %d got work %v on machine %d, needs %v", j.ID, work, machine, need)
+			if mode.AllowMigration {
+				// Tolerance mirrors the engine's sliver rule: a preemption
+				// within Eps of a start is deducted from the resumed volume
+				// but not recorded as an interval, so each segment boundary
+				// may hide up to Eps time — a fraction Eps/p̃_j on the
+				// fastest machine. The floor matches the engine audit's
+				// relative tolerance (its volAuditTol), which tracks true
+				// execution including unrecorded slivers and is the strict
+				// conservation check; this validator sees only the recorded
+				// intervals.
+				tol := Eps * (1 + float64(len(ivs))/j.MinProc())
+				if tol < 1e-6 {
+					tol = 1e-6
+				}
+				if math.Abs(work-1) > tol {
+					return fmt.Errorf("sched: job %d received %v of its volume across migratory segments (completing machine %d needs the full job)", j.ID, work, completing)
+				}
+			} else {
+				need := j.Proc[machine]
+				if math.Abs(work-need) > Eps*(1+need) {
+					return fmt.Errorf("sched: job %d got work %v on machine %d, needs %v", j.ID, work, machine, need)
+				}
 			}
 			if c := o.Completed[j.ID]; math.Abs(c-lastEnd) > Eps*(1+c) {
 				return fmt.Errorf("sched: job %d completion %v != last interval end %v", j.ID, c, lastEnd)
@@ -203,7 +256,7 @@ func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
 			if mode.RequireDeadlines && o.Completed[j.ID] > j.Deadline+Eps*(1+j.Deadline) {
 				return fmt.Errorf("sched: job %d completed %v after deadline %v", j.ID, o.Completed[j.ID], j.Deadline)
 			}
-			if am, ok := o.Assigned[j.ID]; ok && am != machine {
+			if am, ok := o.Assigned[j.ID]; ok && am != machine && !mode.AllowMigration {
 				return fmt.Errorf("sched: job %d assigned to %d but ran on %d", j.ID, am, machine)
 			}
 		} else { // rejected
@@ -211,7 +264,11 @@ func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
 				if lastEnd > rejT+Eps*(1+rejT) {
 					return fmt.Errorf("sched: rejected job %d executed past its rejection time", j.ID)
 				}
-				if work > j.Proc[machine]+Eps {
+				if mode.AllowMigration {
+					if work > 1+Eps {
+						return fmt.Errorf("sched: rejected job %d over-processed across migratory segments", j.ID)
+					}
+				} else if work > j.Proc[machine]+Eps {
 					return fmt.Errorf("sched: rejected job %d over-processed", j.ID)
 				}
 			}

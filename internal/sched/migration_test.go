@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// migratoryInstance is the fixture of the migration validation tests: one
+// job whose processing time differs across machines (4 on machine 0, 8 on
+// machine 1), so volume conservation is only meaningful machine-relatively.
+func migratoryInstance() *Instance {
+	return &Instance{Machines: 2, Jobs: []Job{
+		{ID: 0, Release: 0, Weight: 1, Deadline: NoDeadline, Proc: []float64{4, 8}},
+	}}
+}
+
+// migratoryOutcome executes 1/4 of the job on machine 0 ([0,1)) and the
+// remaining 3/4 on machine 1 ([2,8), where that fraction costs 6 units).
+func migratoryOutcome() *Outcome {
+	out := NewOutcome()
+	out.Intervals = append(out.Intervals,
+		Interval{Job: 0, Machine: 0, Start: 0, End: 1, Speed: 1},
+		Interval{Job: 0, Machine: 1, Start: 2, End: 8, Speed: 1},
+	)
+	out.Completed[0] = 8
+	out.Assigned[0] = 0
+	return out
+}
+
+func TestValidateMigratorySegments(t *testing.T) {
+	ins := migratoryInstance()
+	out := migratoryOutcome()
+	if err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true, RequireUnitSpeed: true}); err != nil {
+		t.Fatalf("valid migratory outcome rejected: %v", err)
+	}
+	// The dispatch machine (0) differs from the completing machine (1);
+	// AllowMigration must skip the assignment cross-check, which the
+	// accepting run above already exercised. Without the flag the same
+	// outcome is a migration violation.
+	if err := ValidateOutcome(ins, out, ValidateMode{AllowPreemption: true}); err == nil || !strings.Contains(err.Error(), "migrated") {
+		t.Fatalf("migration accepted without AllowMigration: %v", err)
+	}
+	if err := ValidateOutcome(ins, out, ValidateMode{}); err == nil {
+		t.Fatal("preempted migratory outcome accepted by the strict validator")
+	}
+}
+
+func TestValidateMigratoryConservationShort(t *testing.T) {
+	// Cutting the machine-1 segment to [2,7) delivers only 1/4 + 5/8 of the
+	// job: conservation on the completing machine must fail.
+	ins := migratoryInstance()
+	out := migratoryOutcome()
+	out.Intervals[1].End = 7
+	out.Completed[0] = 7
+	err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true})
+	if err == nil || !strings.Contains(err.Error(), "volume") {
+		t.Fatalf("under-provisioned migratory job accepted: %v", err)
+	}
+}
+
+func TestValidateMigratoryConservationExcess(t *testing.T) {
+	// Stretching the machine-1 segment to [2,10) delivers 1/4 + 1 of the
+	// job: over-service must fail even though each segment alone fits its
+	// machine's processing time.
+	ins := migratoryInstance()
+	out := migratoryOutcome()
+	out.Intervals[1].End = 10
+	out.Completed[0] = 10
+	err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true})
+	if err == nil || !strings.Contains(err.Error(), "volume") {
+		t.Fatalf("over-served migratory job accepted: %v", err)
+	}
+}
+
+func TestValidateMigratorySelfOverlap(t *testing.T) {
+	// A job running on two machines at the same time can hide from both the
+	// fraction sum (0.5 + 0.5 = 1) and the per-machine overlap check; the
+	// per-job disjointness check must catch it.
+	ins := migratoryInstance()
+	out := NewOutcome()
+	out.Intervals = append(out.Intervals,
+		Interval{Job: 0, Machine: 0, Start: 0, End: 2, Speed: 1}, // 2/4
+		Interval{Job: 0, Machine: 1, Start: 0, End: 4, Speed: 1}, // 4/8, concurrent
+	)
+	out.Completed[0] = 4
+	err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true})
+	if err == nil || !strings.Contains(err.Error(), "concurrently") {
+		t.Fatalf("self-overlapping migratory job accepted: %v", err)
+	}
+}
+
+func TestValidateMigratoryRejectedOverProcessed(t *testing.T) {
+	// A rejected job may carry partial migratory segments, but never more
+	// than one job's worth of machine-relative work.
+	ins := migratoryInstance()
+	out := NewOutcome()
+	out.Intervals = append(out.Intervals,
+		Interval{Job: 0, Machine: 0, Start: 0, End: 3, Speed: 1},  // 3/4
+		Interval{Job: 0, Machine: 1, Start: 4, End: 10, Speed: 1}, // + 6/8 > 1
+	)
+	out.Rejected[0] = 10
+	err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true})
+	if err == nil || !strings.Contains(err.Error(), "over-processed") {
+		t.Fatalf("over-processed rejected migratory job accepted: %v", err)
+	}
+	// Trimmed below one job's worth it validates.
+	out.Intervals[1].End = 5 // 3/4 + 1/8
+	if err := ValidateOutcome(ins, out, ValidateMode{AllowMigration: true}); err != nil {
+		t.Fatalf("partial migratory rejection rejected: %v", err)
+	}
+}
