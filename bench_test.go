@@ -83,6 +83,9 @@ func BenchmarkE14_Table10_StreamThroughput(b *testing.B) { runExperiment(b, "E14
 // Table 11: price of non-preemption across workload families.
 func BenchmarkE15_Table11_PriceOfNonPreemption(b *testing.B) { runExperiment(b, "E15") }
 
+// Table 12: batched ingestion throughput (slab fan-out + FeedBatch vs per-job).
+func BenchmarkE16_Table12_BatchedIngestion(b *testing.B) { runExperiment(b, "E16") }
+
 // End-to-end scheduler throughput (jobs scheduled per op) on a fixed
 // overloaded workload; complements E10 with -benchmem numbers.
 func BenchmarkFlowtimeEndToEnd(b *testing.B) {

@@ -1,0 +1,147 @@
+// Command benchcheck gates allocation regressions: it parses `go test
+// -bench -benchmem` output from stdin, matches each benchmark against the
+// allocs/op recorded in BENCH_baseline.json, and exits non-zero when any
+// benchmark regresses beyond the threshold — the benchstat-style CI tripwire
+// for the repository's hot paths, without a network dependency.
+//
+// allocs/op is the gated signal because it is hardware-independent (the
+// event loops are allocation-free in steady state, so a new allocation in a
+// hot path shows up verbatim); ns/op is reported but never gated — CI
+// runners are too noisy for wall-clock assertions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 2x ./... |
+//	    go run ./cmd/benchcheck -baseline BENCH_baseline.json
+//
+// A benchmark fails when its allocs/op exceeds baseline*(1+threshold)+slack
+// (default 10% + 8 allocs of absolute grace, so near-zero baselines don't
+// trip on one lazy-init allocation). Baseline entries missing from the
+// input fail too — silently dropped coverage is itself a regression —
+// unless -lenient downgrades them to warnings. Benchmarks absent from the
+// baseline are listed as informational (candidates for the next baseline
+// refresh).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the fields of BENCH_baseline.json that benchcheck
+// consumes; unknown fields (notes, the E14/E16 snapshots) are ignored.
+type baselineFile struct {
+	Benchmarks []baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkRun10kJobs4Machines-8   168  7132243 ns/op  2679296 B/op  167 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
+		threshold    = flag.Float64("threshold", 0.10, "fractional allocs/op regression that fails the check")
+		slack        = flag.Float64("slack", 8, "absolute allocs/op grace on top of the threshold")
+		lenient      = flag.Bool("lenient", false, "warn instead of failing on baseline benchmarks missing from the input")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	want := make(map[string]baselineEntry, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		want[b.Package+"."+b.Name] = b
+	}
+
+	type result struct {
+		key    string
+		ns     float64
+		allocs float64
+	}
+	var results []result
+	seen := make(map[string]bool)
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		r := result{key: pkg + "." + m[1], ns: ns, allocs: -1}
+		if m[3] != "" {
+			r.allocs, _ = strconv.ParseFloat(m[3], 64)
+		}
+		results = append(results, r)
+		seen[r.key] = true
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, r := range results {
+		b, tracked := want[r.key]
+		switch {
+		case !tracked:
+			fmt.Printf("  new    %-64s %8.0f allocs/op (not in baseline)\n", r.key, r.allocs)
+		case r.allocs < 0:
+			fmt.Printf("FAIL     %-64s ran without -benchmem, cannot gate\n", r.key)
+			failed = true
+		default:
+			limit := b.AllocsPerOp*(1+*threshold) + *slack
+			status, mark := "  ok   ", ""
+			if r.allocs > limit {
+				status, mark, failed = "FAIL   ", fmt.Sprintf("  (limit %.0f)", limit), true
+			}
+			fmt.Printf("%s %-64s %8.0f -> %-8.0f allocs/op  ns/op %.2gx%s\n",
+				status, r.key, b.AllocsPerOp, r.allocs, r.ns/b.NsPerOp, mark)
+		}
+	}
+	for key := range want {
+		if !seen[key] {
+			if *lenient {
+				fmt.Printf("  warn   %-64s in baseline but not benchmarked this run\n", key)
+			} else {
+				fmt.Printf("FAIL     %-64s in baseline but not benchmarked this run\n", key)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Println("benchcheck: allocation regression (or lost coverage) against", *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%%+%.0f of %s\n",
+		len(results), *threshold*100, *slack, *baselinePath)
+}

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"time"
 
 	"repro/internal/core/flowtime"
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -14,72 +16,193 @@ import (
 func init() {
 	register(Experiment{
 		ID: "E14", Kind: "table",
-		Title: "Streaming throughput: sharded engine sessions",
+		Title: "Streaming throughput: sharded engine sessions (per-job ingestion)",
 		Claim: "design: the engine session scales out across independent shards",
 		Run:   runE14,
 	})
+	register(Experiment{
+		ID: "E16", Kind: "table",
+		Title: "Batched ingestion throughput: slab fan-out + FeedBatch vs the per-job path",
+		Claim: "perf: batching the ingestion path (slab handoff + FeedBatch + bulk event push) multiplies jobs/sec over E14 with bit-identical outcomes",
+		Run:   runE16,
+	})
 }
 
-// runE14 measures the streaming ingestion path end to end: jobs flow from a
-// generated workload through engine.Shard into K independent flowtime
-// sessions (each a scale-out unit of m machines), exactly the schedsim
-// -stream pipeline minus the JSON decode. Reported per shard count: wall
-// time, ingested jobs/sec, allocs/job and speedup over one shard. Every
-// fed job must come back completed or rejected across the shard outcomes.
-func runE14(cfg Config) (fmt.Stringer, error) {
+// throughputWorkload is the shared E14/E16 instance, so the two experiments
+// are directly comparable.
+func throughputWorkload(cfg Config) (*sched.Instance, int) {
 	n := cfg.scale(60000, 4000)
 	const m = 8
 	c := workload.DefaultConfig(n, m, 7)
 	c.Load = 1.2
-	ins := workload.Random(c)
+	return workload.Random(c), m
+}
 
-	t := stats.NewTable(fmt.Sprintf("E14 — streaming shard throughput (n=%d, m=%d per shard, ε=0.2)", n, m),
-		"shards", "wall ms", "jobs/sec", "allocs/job", "speedup", "jobs ok")
+// throughputTrials is how often each (shard count, ingestion mode) cell is
+// re-run, keeping the fastest wall time: single-shot timings on a shared
+// host swing ±25%, which would drown the ingestion-path difference the
+// experiments exist to measure.
+const throughputTrials = 5
+
+// bestShardRun repeats shardRun and keeps the fastest trial (outcomes are
+// bit-identical across trials, so only the clock varies).
+func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.ShardOptions) (time.Duration, []*sched.Outcome, float64, error) {
+	trials := throughputTrials
+	if cfg.Quick {
+		trials = 2
+	}
+	var (
+		best       time.Duration
+		bestOuts   []*sched.Outcome
+		bestAllocs float64
+	)
+	for trial := 0; trial < trials; trial++ {
+		el, outs, allocs, err := shardRun(ins, m, shards, opt)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if trial == 0 || el < best {
+			best, bestOuts, bestAllocs = el, outs, allocs
+		}
+	}
+	return best, bestOuts, bestAllocs, nil
+}
+
+// shardRun pushes the instance through K flowtime sessions behind an
+// engine.Shard configured by opt, returning the wall time and the per-shard
+// outcomes (shard k's outcome at index k). Every fed job must come back
+// completed or rejected.
+func shardRun(ins *sched.Instance, m, shards int, opt engine.ShardOptions) (time.Duration, []*sched.Outcome, float64, error) {
+	sessions := make([]*flowtime.Session, shards)
+	feeders := make([]engine.Feeder, shards)
+	for k := range sessions {
+		s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2})
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		sessions[k] = s
+		feeders[k] = s
+	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	sh := engine.NewShardOpts(feeders, opt)
+	for k := range ins.Jobs {
+		if err := sh.Feed(ins.Jobs[k]); err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	if err := sh.Wait(); err != nil {
+		return 0, nil, 0, err
+	}
+	outs := make([]*sched.Outcome, shards)
+	done := 0
+	for k, s := range sessions {
+		res, err := s.Close()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		outs[k] = res.Outcome
+		done += len(res.Outcome.Completed) + len(res.Outcome.Rejected)
+	}
+	el := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	if done != len(ins.Jobs) {
+		return 0, nil, 0, fmt.Errorf("%d jobs accounted with %d shards, want %d", done, shards, len(ins.Jobs))
+	}
+	return el, outs, float64(msAfter.Mallocs - msBefore.Mallocs), nil
+}
+
+// runE14 measures the per-job streaming ingestion path end to end: jobs flow
+// one channel handoff at a time from a generated workload through
+// engine.Shard into K independent flowtime sessions (each a scale-out unit
+// of m machines) — the schedsim -stream -batch 1 pipeline minus the JSON
+// decode, and the historical baseline E16's batched path is measured
+// against. Reported per shard count: wall time, ingested jobs/sec,
+// allocs/job and speedup over one shard.
+func runE14(cfg Config) (fmt.Stringer, error) {
+	ins, m := throughputWorkload(cfg)
+	n := len(ins.Jobs)
+
+	t := stats.NewTable(fmt.Sprintf("E14 — per-job streaming shard throughput (n=%d, m=%d per shard, ε=0.2)", n, m),
+		"shards", "wall ms", "jobs/sec", "allocs/job", "speedup")
 	var base float64
 	for _, shards := range []int{1, 2, 4, 8} {
-		sessions := make([]*flowtime.Session, shards)
-		feeders := make([]engine.Feeder, shards)
-		for k := range sessions {
-			s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2})
-			if err != nil {
-				return nil, err
-			}
-			sessions[k] = s
-			feeders[k] = s
-		}
-		var msBefore, msAfter runtime.MemStats
-		runtime.ReadMemStats(&msBefore)
-		start := time.Now()
-		sh := engine.NewShard(feeders, nil, 0)
-		for k := range ins.Jobs {
-			if err := sh.Feed(ins.Jobs[k]); err != nil {
-				return nil, err
-			}
-		}
-		if err := sh.Wait(); err != nil {
-			return nil, err
-		}
-		done := 0
-		for _, s := range sessions {
-			res, err := s.Close()
-			if err != nil {
-				return nil, err
-			}
-			done += len(res.Outcome.Completed) + len(res.Outcome.Rejected)
-		}
-		el := time.Since(start)
-		runtime.ReadMemStats(&msAfter)
-		if done != n {
-			return nil, fmt.Errorf("E14: %d jobs accounted with %d shards, want %d", done, shards, n)
+		// MaxBatch 1 pins the historical per-job semantics — one slab
+		// handoff (and worker wakeup) per job — and Slabs 256 restores the
+		// 256-job producer runahead the pre-slab channel buffer gave it.
+		el, _, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256})
+		if err != nil {
+			return nil, fmt.Errorf("E14: %w", err)
 		}
 		jobsPerSec := float64(n) / el.Seconds()
 		if shards == 1 {
 			base = jobsPerSec
 		}
-		allocs := float64(msAfter.Mallocs - msBefore.Mallocs)
 		t.AddRowf(shards, float64(el.Microseconds())/1000,
-			jobsPerSec, allocs/float64(n), jobsPerSec/base,
-			okMark(done == n))
+			jobsPerSec, allocs/float64(n), jobsPerSec/base)
+	}
+	return t, nil
+}
+
+// runE16 measures the batched ingestion path on the same workload and shard
+// counts as E14: slabs of jobs move through one channel handoff and one
+// FeedBatch call each (producer fills one slab while the worker drains
+// another), and the post-run pipeline — per-shard ValidateOutcome +
+// ComputeMetrics on a reused sched.Scratch, merged by sched.MergeMetrics —
+// runs allocation-free. The ×E14 column is the headline: how much batching
+// alone multiplies jobs/sec at equal shard count. Outcomes must be
+// bit-identical to the per-job path ("same" column), and the audited fleet
+// view must account for every job.
+func runE16(cfg Config) (fmt.Stringer, error) {
+	ins, m := throughputWorkload(cfg)
+	n := len(ins.Jobs)
+
+	t := stats.NewTable(fmt.Sprintf("E16 — batched ingestion shard throughput (n=%d, m=%d per shard, slab=256, ε=0.2)", n, m),
+		"shards", "wall ms", "jobs/sec", "×E14", "allocs/job", "fleet mean flow", "same")
+	var scratch sched.Scratch
+	for _, shards := range []int{1, 2, 4, 8} {
+		perJobEl, perJobOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256})
+		if err != nil {
+			return nil, fmt.Errorf("E16: per-job reference: %w", err)
+		}
+		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("E16: %w", err)
+		}
+		identical := reflect.DeepEqual(outs, perJobOuts)
+
+		// Per-shard audit + metrics on the reused scratch, merged into the
+		// fleet view: partition the instance exactly as the route did.
+		parts := make([]*sched.Instance, shards)
+		for k := range parts {
+			parts[k] = &sched.Instance{Machines: m}
+		}
+		for k := range ins.Jobs {
+			s := engine.RouteByID(&ins.Jobs[k], shards)
+			parts[s].Jobs = append(parts[s].Jobs, ins.Jobs[k])
+		}
+		shardMetrics := make([]sched.Metrics, shards)
+		for k := range parts {
+			if err := scratch.ValidateOutcome(parts[k], outs[k], sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
+				return nil, fmt.Errorf("E16: shard %d outcome failed audit: %w", k, err)
+			}
+			sm, err := scratch.ComputeMetrics(parts[k], outs[k])
+			if err != nil {
+				return nil, fmt.Errorf("E16: shard %d metrics: %w", k, err)
+			}
+			shardMetrics[k] = sm
+		}
+		fleet := sched.MergeMetrics(shardMetrics...)
+		if fleet.Completed+fleet.Rejected != n {
+			return nil, fmt.Errorf("E16: fleet view accounts %d jobs, want %d", fleet.Completed+fleet.Rejected, n)
+		}
+
+		jobsPerSec := float64(n) / el.Seconds()
+		perJobRate := float64(n) / perJobEl.Seconds()
+		t.AddRowf(shards, float64(el.Microseconds())/1000, jobsPerSec,
+			jobsPerSec/perJobRate, allocs/float64(n), fleet.MeanFlow,
+			okMark(identical))
 	}
 	return t, nil
 }

@@ -67,6 +67,10 @@ type Scheduler struct {
 	// revisits a decision, so an append-only log replaces the former
 	// map[int]Placement and keeps Place allocation-free in steady state.
 	placed []jobPlacement
+	// lenbuf backs the candidate-length grid returned by lengths; the grid
+	// is consumed within one machine's scan of Place, so a single reused
+	// buffer keeps the per-(job, machine) enumeration allocation-free.
+	lenbuf []int
 }
 
 // jobPlacement pairs a job id with its committed strategy.
@@ -95,20 +99,21 @@ func New(opt Options) (*Scheduler, error) {
 }
 
 // lengths enumerates candidate window lengths up to maxLen on the configured
-// geometric grid, always including 1 and maxLen.
+// geometric grid, always including 1 and maxLen. The returned slice aliases
+// the scheduler's reused buffer and is valid until the next lengths call.
 func (s *Scheduler) lengths(maxLen int) []int {
 	if maxLen < 1 {
 		return nil
 	}
+	out := s.lenbuf[:0]
 	ratio := s.opt.LengthGridRatio
 	if ratio <= 1 {
-		out := make([]int, maxLen)
-		for i := range out {
-			out[i] = i + 1
+		for l := 1; l <= maxLen; l++ {
+			out = append(out, l)
 		}
+		s.lenbuf = out
 		return out
 	}
-	var out []int
 	l := 1
 	for l < maxLen {
 		out = append(out, l)
@@ -118,7 +123,9 @@ func (s *Scheduler) lengths(maxLen int) []int {
 		}
 		l = nl
 	}
-	return append(out, maxLen)
+	out = append(out, maxLen)
+	s.lenbuf = out
+	return out
 }
 
 // GridSize reports how many candidate window lengths the configured grid

@@ -54,6 +54,32 @@ func BenchmarkStreamSession(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamSessionBatched is BenchmarkStreamSession through the
+// FeedBatch fast path: the same hint-less 10k-job stream in 256-job slabs,
+// one bulk event push and one drain per slab instead of per job.
+func BenchmarkStreamSessionBatched(b *testing.B) {
+	cfg := workload.DefaultConfig(10000, 4, 3)
+	cfg.Load = 1.1
+	ins := workload.Random(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ins.Machines, Options{Epsilon: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < len(ins.Jobs); lo += 256 {
+			hi := min(lo+256, len(ins.Jobs))
+			if err := s.FeedBatch(ins.Jobs[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDispatchPath isolates the λ evaluation (RankStats over m treaps)
 // by running a workload whose jobs all arrive before any completes.
 func BenchmarkDispatchPath(b *testing.B) {

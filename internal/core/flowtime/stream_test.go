@@ -1,6 +1,7 @@
 package flowtime
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -89,6 +90,59 @@ func TestSessionMatchesRun(t *testing.T) {
 						batch.Dual.BetaIntegral != stream.Dual.BetaIntegral {
 						t.Fatalf("instance %d opt %+v advance %v: dual report diverges", n, opt, advance)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestFeedBatchMatchesRun extends the equivalence matrix to the batched
+// ingestion path: for every instance × option configuration, feeding the
+// stream in random batch splits (FeedBatch) must reproduce the batch Run
+// outcome and counters bit-for-bit — including splits landing between
+// within-Eps releases, which the bursty instance provides.
+func TestFeedBatchMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for n, ins := range equivInstances(t) {
+		for _, opt := range []Options{
+			{Epsilon: 0.2},
+			{Epsilon: 0.2, TrackDual: true},
+			{Epsilon: 0.4, TrackDual: true, ParallelDispatch: 4},
+			{Epsilon: 0.1, ParallelDispatch: 3},
+		} {
+			batch, err := Run(ins, opt)
+			if err != nil {
+				t.Fatalf("instance %d: batch: %v", n, err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				s, err := NewSession(ins.Machines, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lo := 0; lo < len(ins.Jobs); {
+					hi := lo + 1 + rng.Intn(120)
+					if hi > len(ins.Jobs) {
+						hi = len(ins.Jobs)
+					}
+					if err := s.FeedBatch(ins.Jobs[lo:hi]); err != nil {
+						t.Fatal(err)
+					}
+					lo = hi
+				}
+				stream, err := s.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(batch.Outcome, stream.Outcome) {
+					t.Fatalf("instance %d opt %+v: batched-split outcome diverges from Run", n, opt)
+				}
+				if batch.Dispatches != stream.Dispatches ||
+					batch.Rule1Rejections != stream.Rule1Rejections ||
+					batch.Rule2Rejections != stream.Rule2Rejections {
+					t.Fatalf("instance %d opt %+v: counters diverge under batched feeding", n, opt)
+				}
+				if opt.TrackDual && !reflect.DeepEqual(batch.Dual.Lambda, stream.Dual.Lambda) {
+					t.Fatalf("instance %d opt %+v: dual report diverges under batched feeding", n, opt)
 				}
 			}
 		}

@@ -39,6 +39,11 @@ func newSession(machines int, opt Options, hint int) (*Session, error) {
 // and advances the simulation as far as the fed releases allow.
 func (s *Session) Feed(j sched.Job) error { return s.es.Feed(j) }
 
+// FeedBatch admits a release-ordered batch of jobs in one call, observably
+// identical to feeding them one Feed at a time but with the per-job
+// ingestion overhead amortized (see engine.Session.FeedBatch).
+func (s *Session) FeedBatch(jobs []sched.Job) error { return s.es.FeedBatch(jobs) }
+
 // AdvanceTo declares that no job released before t will ever be fed and
 // advances the simulation through time t.
 func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
@@ -55,8 +60,8 @@ func (s *Session) Close() (*Result, error) {
 }
 
 // Run executes per-machine preemptive SRPT on the instance. It is a thin
-// wrapper over a Session fed from the instance's job slice, with storage
-// preallocated for the known size.
+// wrapper over a Session fed the instance's job slice in one batch, with
+// storage preallocated for the known size.
 func Run(ins *sched.Instance, opt Options) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
@@ -65,11 +70,9 @@ func Run(ins *sched.Instance, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for k := range ins.Jobs {
-		if err := s.Feed(ins.Jobs[k]); err != nil {
-			s.Close() // release the dispatch pool; the feed error wins
-			return nil, err
-		}
+	if err := s.FeedBatch(ins.Jobs); err != nil {
+		s.Close() // release the dispatch pool; the feed error wins
+		return nil, err
 	}
 	return s.Close()
 }
@@ -106,6 +109,10 @@ func newWeightedSession(machines int, _ WeightedOptions, hint int) (*WeightedSes
 // Feed admits the next job of the stream.
 func (s *WeightedSession) Feed(j sched.Job) error { return s.es.Feed(j) }
 
+// FeedBatch admits a release-ordered batch of jobs in one call, observably
+// identical to feeding them one Feed at a time (see engine.Session.FeedBatch).
+func (s *WeightedSession) FeedBatch(jobs []sched.Job) error { return s.es.FeedBatch(jobs) }
+
 // AdvanceTo declares that no job released before t will ever be fed.
 func (s *WeightedSession) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
 
@@ -130,11 +137,9 @@ func RunWeighted(ins *sched.Instance, opt WeightedOptions) (*WeightedResult, err
 	if err != nil {
 		return nil, err
 	}
-	for k := range ins.Jobs {
-		if err := s.Feed(ins.Jobs[k]); err != nil {
-			s.Close()
-			return nil, err
-		}
+	if err := s.FeedBatch(ins.Jobs); err != nil {
+		s.Close()
+		return nil, err
 	}
 	return s.Close()
 }

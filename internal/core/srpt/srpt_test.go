@@ -2,6 +2,7 @@ package srpt
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -112,6 +113,70 @@ func TestSRPTSessionMatchesRun(t *testing.T) {
 					t.Fatalf("instance %d: preemption counters diverge (%d vs %d)", n, batch.Preemptions, stream.Preemptions)
 				}
 			}
+		}
+	}
+}
+
+// TestSRPTFeedBatchSplitsMatchRun pins the batched ingestion path on the
+// preemption-heavy policies: random FeedBatch splits must reproduce the Run
+// outcome bit-for-bit, for per-machine SRPT and the migratory comparator.
+func TestSRPTFeedBatchSplitsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	splits := func(n int) []int {
+		var cuts []int
+		for lo := 0; lo < n; {
+			lo += 1 + rng.Intn(90)
+			if lo < n {
+				cuts = append(cuts, lo)
+			}
+		}
+		return cuts
+	}
+	for n, ins := range goldenInstances() {
+		batch, err := Run(ins, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: batch: %v", n, err)
+		}
+		s, err := NewSession(ins.Machines, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		for _, cut := range append(splits(len(ins.Jobs)), len(ins.Jobs)) {
+			if err := s.FeedBatch(ins.Jobs[prev:cut]); err != nil {
+				t.Fatal(err)
+			}
+			prev = cut
+		}
+		stream, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch.Outcome, stream.Outcome) {
+			t.Fatalf("instance %d: batched-split SRPT outcome diverges from Run", n)
+		}
+
+		wbatch, err := RunWeighted(ins, WeightedOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: weighted batch: %v", n, err)
+		}
+		ws, err := NewWeightedSession(ins.Machines, WeightedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = 0
+		for _, cut := range append(splits(len(ins.Jobs)), len(ins.Jobs)) {
+			if err := ws.FeedBatch(ins.Jobs[prev:cut]); err != nil {
+				t.Fatal(err)
+			}
+			prev = cut
+		}
+		wstream, err := ws.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wbatch.Outcome, wstream.Outcome) {
+			t.Fatalf("instance %d: batched-split WSRPT outcome diverges from RunWeighted", n)
 		}
 	}
 }

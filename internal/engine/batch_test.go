@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// feedJobs runs a fifo session over the jobs one Feed at a time — the
+// reference ingestion path for the batch-equivalence tests.
+func feedJobs(t *testing.T, machines, rejectAfter int, jobs []sched.Job) *sched.Outcome {
+	t.Helper()
+	s, err := NewSession(newFifo(machines, rejectAfter), Options{Machines: machines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := s.Feed(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// feedSplits runs the same jobs through FeedBatch calls cut at the given
+// split points (indices into jobs, strictly increasing).
+func feedSplits(t *testing.T, machines, rejectAfter int, jobs []sched.Job, splits []int) *sched.Outcome {
+	t.Helper()
+	s, err := NewSession(newFifo(machines, rejectAfter), Options{Machines: machines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, cut := range splits {
+		if err := s.FeedBatch(jobs[prev:cut]); err != nil {
+			t.Fatal(err)
+		}
+		prev = cut
+	}
+	if err := s.FeedBatch(jobs[prev:]); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// epsStraddleJobs builds a sequence whose releases decrease within sched.Eps
+// and tie exactly, so batch boundaries land inside the drain horizon's
+// tolerance window — the regime where postponing the drain to the batch
+// boundary is most delicate.
+func epsStraddleJobs(n, machines int, seed int64) []sched.Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]sched.Job, n)
+	t, maxT := 0.0, 0.0
+	for k := range jobs {
+		switch rng.Intn(4) {
+		case 0:
+			t = maxT + rng.Float64()*2
+		case 1:
+			t = maxT // exact tie with the high-water release
+		case 2:
+			t = maxT - sched.Eps*2/3 // within-Eps regression, still admissible
+		default:
+			t = maxT + sched.Eps/2
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > maxT {
+			maxT = t
+		}
+		proc := make([]float64, machines)
+		for i := range proc {
+			proc[i] = 0.1 + rng.Float64()*3
+		}
+		jobs[k] = sched.Job{ID: k, Release: t, Weight: 1, Deadline: sched.NoDeadline, Proc: proc}
+	}
+	return jobs
+}
+
+// TestFeedBatchMatchesFeed is the batch-split equivalence property: for
+// random workloads (including rejection-heavy and within-Eps tie-heavy
+// ones) and random batch boundaries, FeedBatch must produce an outcome
+// bit-identical to per-job feeding.
+func TestFeedBatchMatchesFeed(t *testing.T) {
+	const machines = 3
+	type tc struct {
+		name        string
+		jobs        []sched.Job
+		rejectAfter int
+	}
+	var cases []tc
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := workload.DefaultConfig(300, machines, seed)
+		cfg.Load = 1.3
+		cases = append(cases,
+			tc{"random", workload.Random(cfg).Jobs, 0},
+			tc{"random-rejecting", workload.Random(cfg).Jobs, 2},
+			tc{"eps-straddle", epsStraddleJobs(300, machines, seed), 0},
+			tc{"eps-straddle-rejecting", epsStraddleJobs(300, machines, seed+100), 3},
+		)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range cases {
+		want := feedJobs(t, machines, c.rejectAfter, c.jobs)
+		for trial := 0; trial < 8; trial++ {
+			var splits []int
+			for cut := 0; cut < len(c.jobs); {
+				cut += 1 + rng.Intn(60)
+				if cut < len(c.jobs) {
+					splits = append(splits, cut)
+				}
+			}
+			got := feedSplits(t, machines, c.rejectAfter, c.jobs, splits)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: FeedBatch with splits %v diverges from per-job Feed", c.name, splits)
+			}
+		}
+		// Degenerate shapes: one giant batch, and all singleton batches.
+		if got := feedSplits(t, machines, c.rejectAfter, c.jobs, nil); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: single-batch FeedBatch diverges from per-job Feed", c.name)
+		}
+		singletons := make([]int, 0, len(c.jobs))
+		for k := 1; k < len(c.jobs); k++ {
+			singletons = append(singletons, k)
+		}
+		if got := feedSplits(t, machines, c.rejectAfter, c.jobs, singletons); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: singleton FeedBatch diverges from per-job Feed", c.name)
+		}
+	}
+}
+
+// FuzzFeedBatchSplits lets the fuzzer pick the batch boundaries (and the
+// rejection cadence) on an Eps-tie-heavy workload; any divergence from the
+// per-job reference is a bug in the batched ingestion path.
+func FuzzFeedBatchSplits(f *testing.F) {
+	f.Add(int64(1), uint8(0), []byte{10, 3, 120})
+	f.Add(int64(2), uint8(2), []byte{1, 1, 1, 1, 250})
+	f.Add(int64(3), uint8(5), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, rejectAfter uint8, cuts []byte) {
+		const machines, n = 2, 120
+		jobs := epsStraddleJobs(n, machines, seed)
+		ra := int(rejectAfter % 6)
+		splits := make([]int, 0, len(cuts))
+		cut := 0
+		for _, c := range cuts {
+			cut += 1 + int(c)
+			if cut >= len(jobs) {
+				break
+			}
+			splits = append(splits, cut)
+		}
+		want := feedJobs(t, machines, ra, jobs)
+		got := feedSplits(t, machines, ra, jobs, splits)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d rejectAfter %d splits %v: batched outcome diverges", seed, ra, splits)
+		}
+	})
+}
+
+// TestFeedBatchErrorKeepsPrefix pins the error contract: a bad job fails
+// the batch, but the jobs before it are admitted and simulated, exactly as
+// a Feed loop would have left the session — and the session stays usable.
+func TestFeedBatchErrorKeepsPrefix(t *testing.T) {
+	s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []sched.Job{
+		job(0, 0, 2),
+		job(1, 1, 2),
+		job(0, 2, 2), // duplicate id
+		job(2, 3, 2), // never admitted: the batch stops at the error
+	}
+	if err := s.FeedBatch(batch); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("FeedBatch error = %v, want duplicate id", err)
+	}
+	if err := s.FeedBatch([]sched.Job{job(3, 4, 2)}); err != nil {
+		t.Fatalf("session unusable after batch error: %v", err)
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Completed)+len(out.Rejected) != 3 {
+		t.Fatalf("%d jobs accounted, want 3 (prefix + follow-up)", len(out.Completed)+len(out.Rejected))
+	}
+	if _, ok := out.Completed[2]; ok {
+		t.Fatal("job after the batch error was admitted")
+	}
+}
+
+func TestFeedBatchClosedAndEmpty(t *testing.T) {
+	s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FeedBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FeedBatch([]sched.Job{job(0, 0, 1)}); err != ErrClosed {
+		t.Fatalf("FeedBatch after Close: %v, want ErrClosed", err)
+	}
+}

@@ -8,10 +8,19 @@ import (
 )
 
 // Feeder consumes a stream of jobs in release order. engine.Session and the
-// scheduler sessions of internal/core (flowtime, wflow, speedscale) all
-// implement it.
+// scheduler sessions of internal/core (flowtime, wflow, speedscale, srpt)
+// all implement it.
 type Feeder interface {
 	Feed(j sched.Job) error
+}
+
+// BatchFeeder is a Feeder that can ingest a release-ordered batch of jobs in
+// one call, amortizing per-job overhead. engine.Session and the scheduler
+// sessions of internal/core all implement it; FeedBatch must be observably
+// identical to feeding the batch one Feed call at a time.
+type BatchFeeder interface {
+	Feeder
+	FeedBatch(jobs []sched.Job) error
 }
 
 // RouteFunc picks the shard in [0, shards) for a job. Routes must be pure:
@@ -26,86 +35,233 @@ func RouteByID(j *sched.Job, shards int) int {
 	return ((j.ID % shards) + shards) % shards
 }
 
-// Shard fans a job stream out to K independent sessions, each drained by
-// its own goroutine — the scale-out unit of the engine: one session per
-// shard of machines, jobs partitioned by a stable route. Feed never blocks
-// on scheduling work (only on a full shard buffer); Wait joins the workers
-// and reports the first feed error. The caller closes the individual
-// sessions afterwards and merges their outcomes.
-//
-// Feed and Wait must be called from a single producer goroutine.
-type Shard struct {
-	chans []chan sched.Job
-	route RouteFunc
-	errs  []error
-	wg    sync.WaitGroup
-	done  bool
+// TenantFunc extracts the tenant key of a job. sched.Job carries no tenant
+// field — multi-tenant deployments encode the tenant in the id space (e.g.
+// high bits) or close over an external id→tenant table.
+type TenantFunc func(j *sched.Job) int
+
+// RouteByTenant builds a tenant-affine route: every job of a tenant lands on
+// the same shard, so one tenant's burst can never reorder or starve another
+// tenant's shard, and per-shard outcomes aggregate into per-tenant-group
+// views (see sched.MergeMetrics). Tenant keys are mixed through a 64-bit
+// finalizer before the modulo so consecutive tenant ids spread across shards
+// instead of striping.
+func RouteByTenant(tenant TenantFunc) RouteFunc {
+	return func(j *sched.Job, shards int) int {
+		h := uint64(tenant(j))
+		// splitmix64 finalizer: full-avalanche mix of the tenant key.
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		return int(h % uint64(shards))
+	}
 }
 
-// NewShard starts one worker per feeder. A nil route selects RouteByID;
-// buf ≤ 0 selects a default per-shard buffer of 256 jobs.
+// ShardOptions configures the batched fan-out.
+type ShardOptions struct {
+	// Route picks the shard for each job; nil selects RouteByID.
+	Route RouteFunc
+	// MaxBatch is the slab capacity: a shard's pending slab is handed to its
+	// worker when it reaches this many jobs. ≤ 0 selects 256.
+	MaxBatch int
+	// Slabs is the number of job slabs circulating per shard; ≥ 2 gives
+	// true double buffering (the producer fills one while the worker
+	// drains another), 1 is legal but fully serializes producer and
+	// worker on each slab. ≤ 0 selects 4.
+	Slabs int
+	// FlushEvery, when positive, flushes every shard's pending slab after
+	// this many Feed calls in total, bounding how long a job can sit
+	// unscheduled in a producer-side buffer on a slow stream. Zero means
+	// slabs flush only when full, on an explicit Flush, or at Wait — the
+	// pure-throughput mode.
+	FlushEvery int
+}
+
+// shardLane is the per-shard half of the fan-out: a work channel of filled
+// slabs, a free channel recycling drained ones, and the producer-side slab
+// being filled. The worker owns err until Wait's join.
+type shardLane struct {
+	work    chan []sched.Job
+	free    chan []sched.Job
+	pending []sched.Job
+	err     error
+}
+
+// Shard fans a job stream out to K independent sessions, each drained by its
+// own goroutine — the scale-out unit of the engine: one session per shard of
+// machines, jobs partitioned by a stable route. Jobs move in slabs: the
+// producer fills a per-shard slab and hands it over in one channel operation
+// when it fills (or on Flush/Wait), while the worker drains a previously
+// filled slab into its session via one FeedBatch call — double buffering
+// that replaces the per-job channel handoff, and with it the per-job
+// goroutine wakeup, with one of each per MaxBatch jobs. Drained slabs recycle
+// through the free channel, so the steady state allocates nothing.
+//
+// Feed never blocks on scheduling work, only on all of a shard's slabs being
+// in flight; Wait flushes, joins the workers and reports the first feed
+// error. The caller closes the individual sessions afterwards and merges
+// their outcomes (sched.MergeMetrics aggregates per-shard metrics).
+//
+// Feed, FeedBatch, Flush and Wait must be called from a single producer
+// goroutine.
+type Shard struct {
+	lanes      []shardLane
+	route      RouteFunc
+	maxBatch   int
+	flushEvery int
+	sinceFlush int
+	wg         sync.WaitGroup
+	done       bool
+}
+
+// NewShard starts one worker per feeder with the given route and per-shard
+// job buffer (≤ 0 selects the defaults). It is the compatibility form of
+// NewShardOpts: buf jobs of buffering per shard, split across the default
+// slab rotation.
 func NewShard(feeders []Feeder, route RouteFunc, buf int) *Shard {
-	if route == nil {
-		route = RouteByID
+	opt := ShardOptions{Route: route}
+	if buf > 0 {
+		opt.Slabs = 4
+		if opt.MaxBatch = buf / opt.Slabs; opt.MaxBatch < 1 {
+			opt.MaxBatch = 1
+		}
 	}
-	if buf <= 0 {
-		buf = 256
+	return NewShardOpts(feeders, opt)
+}
+
+// NewShardOpts starts one worker per feeder. Feeders that implement
+// BatchFeeder (all session types in this repository) ingest each slab in one
+// FeedBatch call; plain Feeders get the slab replayed job by job.
+func NewShardOpts(feeders []Feeder, opt ShardOptions) *Shard {
+	if opt.Route == nil {
+		opt.Route = RouteByID
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 256
+	}
+	if opt.Slabs < 1 {
+		opt.Slabs = 4
 	}
 	sh := &Shard{
-		chans: make([]chan sched.Job, len(feeders)),
-		route: route,
-		errs:  make([]error, len(feeders)),
+		lanes:      make([]shardLane, len(feeders)),
+		route:      opt.Route,
+		maxBatch:   opt.MaxBatch,
+		flushEvery: opt.FlushEvery,
 	}
 	for k := range feeders {
-		ch := make(chan sched.Job, buf)
-		sh.chans[k] = ch
+		ln := &sh.lanes[k]
+		ln.work = make(chan []sched.Job, opt.Slabs)
+		ln.free = make(chan []sched.Job, opt.Slabs)
+		for s := 0; s < opt.Slabs; s++ {
+			ln.free <- make([]sched.Job, 0, opt.MaxBatch)
+		}
 		sh.wg.Add(1)
-		go func(k int, f Feeder, ch chan sched.Job) {
+		go func(ln *shardLane, f Feeder) {
 			defer sh.wg.Done()
-			for j := range ch {
-				if sh.errs[k] != nil {
-					continue // drain: order is broken past the first error
+			bf, batched := f.(BatchFeeder)
+			for slab := range ln.work {
+				if ln.err == nil {
+					// Past the first error order is broken; keep draining so
+					// the producer never wedges on a full lane.
+					if batched {
+						ln.err = bf.FeedBatch(slab)
+					} else {
+						for i := range slab {
+							if ln.err = f.Feed(slab[i]); ln.err != nil {
+								break
+							}
+						}
+					}
 				}
-				if err := f.Feed(j); err != nil {
-					sh.errs[k] = err
-				}
+				ln.free <- slab[:0]
 			}
-		}(k, feeders[k], ch)
+		}(ln, feeders[k])
 	}
 	return sh
 }
 
-// Feed routes the job to its shard. Like the sessions underneath, jobs must
-// arrive in non-decreasing release order.
+// Feed routes the job to its shard's pending slab. Like the sessions
+// underneath, jobs must arrive in non-decreasing release order.
 func (sh *Shard) Feed(j sched.Job) error {
 	if sh.done {
 		return ErrClosed
 	}
-	if len(sh.chans) == 0 {
+	if len(sh.lanes) == 0 {
 		return fmt.Errorf("engine: shard has no feeders")
 	}
-	k := sh.route(&j, len(sh.chans))
-	if k < 0 || k >= len(sh.chans) {
-		return fmt.Errorf("engine: route returned shard %d of %d", k, len(sh.chans))
+	k := sh.route(&j, len(sh.lanes))
+	if k < 0 || k >= len(sh.lanes) {
+		return fmt.Errorf("engine: route returned shard %d of %d", k, len(sh.lanes))
 	}
-	sh.chans[k] <- j
+	ln := &sh.lanes[k]
+	if ln.pending == nil {
+		ln.pending = <-ln.free
+	}
+	ln.pending = append(ln.pending, j)
+	if len(ln.pending) >= sh.maxBatch {
+		ln.work <- ln.pending
+		ln.pending = nil
+	}
+	if sh.flushEvery > 0 {
+		if sh.sinceFlush++; sh.sinceFlush >= sh.flushEvery {
+			sh.flush()
+		}
+	}
 	return nil
 }
 
-// Wait closes the stream, joins the shard workers and returns the first
-// feed error (nil when every job was admitted). The underlying sessions
-// remain open: close them to finish their runs and collect outcomes.
+// FeedBatch routes a release-ordered batch of jobs. It is exactly a Feed
+// loop — slabs keep filling across batch boundaries, so small producer
+// batches still coalesce into full slabs.
+func (sh *Shard) FeedBatch(jobs []sched.Job) error {
+	for k := range jobs {
+		if err := sh.Feed(jobs[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush hands every non-empty pending slab to its worker, trading batch
+// amortization for ingestion latency (e.g. when the producer knows the
+// stream is pausing).
+func (sh *Shard) Flush() error {
+	if sh.done {
+		return ErrClosed
+	}
+	sh.flush()
+	return nil
+}
+
+func (sh *Shard) flush() {
+	for k := range sh.lanes {
+		ln := &sh.lanes[k]
+		if len(ln.pending) > 0 {
+			ln.work <- ln.pending
+			ln.pending = nil
+		}
+	}
+	sh.sinceFlush = 0
+}
+
+// Wait closes the stream: pending slabs flush, the shard workers join, and
+// the first feed error (nil when every job was admitted) is returned. The
+// underlying sessions remain open: close them to finish their runs and
+// collect outcomes.
 func (sh *Shard) Wait() error {
 	if sh.done {
 		return ErrClosed
 	}
 	sh.done = true
-	for _, ch := range sh.chans {
-		close(ch)
+	sh.flush()
+	for k := range sh.lanes {
+		close(sh.lanes[k].work)
 	}
 	sh.wg.Wait()
-	for _, err := range sh.errs {
-		if err != nil {
+	for k := range sh.lanes {
+		if err := sh.lanes[k].err; err != nil {
 			return err
 		}
 	}

@@ -100,6 +100,142 @@ func TestShardFeedErrorSurfacesInWait(t *testing.T) {
 	}
 }
 
+// plainFeeder hides FeedBatch so the worker takes the per-job fallback.
+type plainFeeder struct{ s *Session }
+
+func (p plainFeeder) Feed(j sched.Job) error { return p.s.Feed(j) }
+
+// TestShardOptionsMatchReference pins that every slab geometry — tiny and
+// huge MaxBatch, FlushEvery cadences, few and many slabs, and the per-job
+// fallback for feeders without FeedBatch — produces outcomes bit-identical
+// to inline sequential routing.
+func TestShardOptionsMatchReference(t *testing.T) {
+	cfg := workload.DefaultConfig(500, 3, 5)
+	cfg.Load = 1.3
+	ins := workload.Random(cfg)
+	const K = 3
+
+	refSessions, _ := shardSetup(t, K, ins.Machines)
+	for k := range ins.Jobs {
+		j := ins.Jobs[k]
+		if err := refSessions[RouteByID(&j, K)].Feed(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refOut := make([]*sched.Outcome, K)
+	for k, s := range refSessions {
+		out, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOut[k] = out
+	}
+
+	opts := []ShardOptions{
+		{MaxBatch: 1},
+		{MaxBatch: 7, Slabs: 2},
+		{MaxBatch: 16, Slabs: 1}, // single slab: fully serialized handoff
+		{MaxBatch: 4096},
+		{MaxBatch: 64, FlushEvery: 10},
+		{MaxBatch: 256, Slabs: 8, FlushEvery: 1},
+	}
+	for _, plain := range []bool{false, true} {
+		for _, opt := range opts {
+			sessions, feeders := shardSetup(t, K, ins.Machines)
+			if plain {
+				for k := range feeders {
+					feeders[k] = plainFeeder{sessions[k]}
+				}
+			}
+			sh := NewShardOpts(feeders, opt)
+			for k := range ins.Jobs {
+				if err := sh.Feed(ins.Jobs[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sh.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for k, s := range sessions {
+				out, err := s.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(out, refOut[k]) {
+					t.Fatalf("opts %+v plain=%v: shard %d outcome diverges from sequential routing", opt, plain, k)
+				}
+			}
+		}
+	}
+}
+
+// TestShardFeedBatchCoalesces drives the producer-side FeedBatch entry with
+// odd-sized batches; slabs must keep filling across batch boundaries and
+// the result must still match the reference.
+func TestShardFeedBatchCoalesces(t *testing.T) {
+	cfg := workload.DefaultConfig(400, 2, 8)
+	cfg.Load = 1.2
+	ins := workload.Random(cfg)
+	const K = 2
+
+	refSessions, _ := shardSetup(t, K, ins.Machines)
+	for k := range ins.Jobs {
+		j := ins.Jobs[k]
+		if err := refSessions[RouteByID(&j, K)].Feed(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions, feeders := shardSetup(t, K, ins.Machines)
+	sh := NewShardOpts(feeders, ShardOptions{MaxBatch: 32})
+	for lo := 0; lo < len(ins.Jobs); lo += 17 {
+		hi := min(lo+17, len(ins.Jobs))
+		if err := sh.FeedBatch(ins.Jobs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Flush(); err != nil { // exercise the explicit flush path
+		t.Fatal(err)
+	}
+	if err := sh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range sessions {
+		out, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := refSessions[k].Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("shard %d outcome diverges under FeedBatch ingestion", k)
+		}
+	}
+}
+
+func TestRouteByTenantAffinityAndSpread(t *testing.T) {
+	const shards = 8
+	route := RouteByTenant(func(j *sched.Job) int { return j.ID / 100 })
+	used := map[int]bool{}
+	for tenant := 0; tenant < 64; tenant++ {
+		want := route(&sched.Job{ID: tenant * 100}, shards)
+		if want < 0 || want >= shards {
+			t.Fatalf("tenant %d routed to %d of %d", tenant, want, shards)
+		}
+		used[want] = true
+		for off := 1; off < 100; off += 37 {
+			if got := route(&sched.Job{ID: tenant*100 + off}, shards); got != want {
+				t.Fatalf("tenant %d split across shards %d and %d", tenant, want, got)
+			}
+		}
+	}
+	// 64 tenants over 8 shards: the mixed hash must not collapse to a few.
+	if len(used) < shards/2 {
+		t.Fatalf("64 tenants landed on only %d of %d shards", len(used), shards)
+	}
+}
+
 func TestShardWithoutFeedersErrors(t *testing.T) {
 	sh := NewShard(nil, nil, 0)
 	if err := sh.Feed(job(0, 0, 1)); err == nil {

@@ -69,6 +69,32 @@ func (q *Queue) Push(e Event) {
 	q.siftUp(len(q.h) - 1)
 }
 
+// PushBatch inserts a batch of events, assigning insertion sequence in slice
+// order, exactly as if each event had been pushed individually: the pop order
+// of the queue is identical (it depends only on the (Time, Kind, seq) total
+// order, never on heap layout). The slice is copied, not retained.
+//
+// It amortizes the capacity check over the batch and, when the queue is
+// empty, heapifies bottom-up in O(n) instead of n sift-ups. The engine's
+// FeedBatch deliberately does NOT use it: staging arrivals for a bulk push
+// ran the dispatch of each arrival colder in cache than pushing and
+// draining in small chunks (see engine.feedChunk), so PushBatch serves
+// callers that already hold an event slice — e.g. seeding a queue from a
+// precomputed schedule — not the session hot path.
+func (q *Queue) PushBatch(events []Event) {
+	q.Grow(len(events))
+	if len(q.h) == 0 && len(events) > 2 {
+		q.Init(events)
+		return
+	}
+	for _, e := range events {
+		e.ord = uint64(e.Kind)<<ordShift | q.seq
+		q.seq++
+		q.h = append(q.h, e)
+		q.siftUp(len(q.h) - 1)
+	}
+}
+
 // Init replaces the queue contents with the given batch, assigning insertion
 // sequence in slice order and heapifying in O(n). The slice is copied, not
 // retained.

@@ -1,11 +1,5 @@
 package sched
 
-import (
-	"fmt"
-	"math"
-	"sort"
-)
-
 // Metrics summarizes the cost of an outcome under the objectives studied in
 // the paper.
 type Metrics struct {
@@ -33,88 +27,60 @@ type Metrics struct {
 // WeightedFlowPlusEnergy is the Theorem 2 objective.
 func (m Metrics) WeightedFlowPlusEnergy() float64 { return m.WeightedFlow + m.Energy }
 
+// MergeMetrics aggregates per-shard (or per-tenant-group) metric summaries
+// into one fleet-level view: additive objectives and counts sum, MaxFlow and
+// Makespan take the maximum, MeanFlow is recomputed from the summed flow and
+// job count. P99Flow cannot be reconstructed from per-shard percentiles, so
+// the merge takes the largest shard's value — an upper bound on the true
+// fleet p99 that is exact when one shard dominates the tail.
+func MergeMetrics(parts ...Metrics) Metrics {
+	var m Metrics
+	jobs := 0
+	for _, p := range parts {
+		m.TotalFlow += p.TotalFlow
+		m.WeightedFlow += p.WeightedFlow
+		m.Energy += p.Energy
+		m.Completed += p.Completed
+		m.Rejected += p.Rejected
+		m.RejectedWeight += p.RejectedWeight
+		if p.MaxFlow > m.MaxFlow {
+			m.MaxFlow = p.MaxFlow
+		}
+		if p.P99Flow > m.P99Flow {
+			m.P99Flow = p.P99Flow
+		}
+		if p.Makespan > m.Makespan {
+			m.Makespan = p.Makespan
+		}
+		jobs += p.Completed + p.Rejected
+	}
+	if jobs > 0 {
+		m.MeanFlow = m.TotalFlow / float64(jobs)
+	}
+	return m
+}
+
 // ComputeMetrics derives Metrics from an outcome. It never mutates its
 // arguments. Energy integrates machine power over the breakpoint sweep of all
 // intervals per machine, so overlapping executions (allowed in the §4 model)
 // cost (Σ speeds)^α.
+//
+// The computation runs on a pooled Scratch; hold your own Scratch and call
+// its ComputeMetrics to pin the arenas when auditing many outcomes in a
+// loop.
 func ComputeMetrics(ins *Instance, o *Outcome) (Metrics, error) {
-	var m Metrics
-	flows := make([]float64, 0, len(ins.Jobs))
-	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		f, err := o.FlowTime(j)
-		if err != nil {
-			return m, err
-		}
-		flows = append(flows, f)
-		m.TotalFlow += f
-		m.WeightedFlow += j.Weight * f
-		if f > m.MaxFlow {
-			m.MaxFlow = f
-		}
-		if c, ok := o.Completed[j.ID]; ok {
-			m.Completed++
-			if c > m.Makespan {
-				m.Makespan = c
-			}
-		}
-		if c, ok := o.Rejected[j.ID]; ok {
-			m.Rejected++
-			m.RejectedWeight += j.Weight
-			if c > m.Makespan {
-				m.Makespan = c
-			}
-		}
-	}
-	if len(flows) > 0 {
-		m.MeanFlow = m.TotalFlow / float64(len(flows))
-		sort.Float64s(flows)
-		idx := int(math.Ceil(0.99*float64(len(flows)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		m.P99Flow = flows[idx]
-	}
-	if ins.Alpha > 0 {
-		m.Energy = EnergyOf(ins, o.Intervals)
-	}
-	return m, nil
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return s.ComputeMetrics(ins, o)
 }
 
 // EnergyOf integrates Σ_i ∫ P_i(speed_i(t)) dt with P(s) = s^Alpha over the
 // given intervals, summing speeds of concurrently running intervals on the
-// same machine.
+// same machine. Runs on a pooled Scratch (see Scratch.EnergyOf).
 func EnergyOf(ins *Instance, ivs []Interval) float64 {
-	type edge struct {
-		t     float64
-		speed float64 // +s at start, -s at end
-	}
-	perMachine := make([][]edge, ins.Machines)
-	for _, iv := range ivs {
-		if iv.End <= iv.Start {
-			continue
-		}
-		perMachine[iv.Machine] = append(perMachine[iv.Machine],
-			edge{iv.Start, iv.Speed}, edge{iv.End, -iv.Speed})
-	}
-	var total float64
-	for _, edges := range perMachine {
-		sort.Slice(edges, func(a, b int) bool { return edges[a].t < edges[b].t })
-		var cur, last float64
-		for _, e := range edges {
-			if e.t > last && cur > Eps {
-				total += (e.t - last) * math.Pow(cur, ins.Alpha)
-			}
-			if e.t > last {
-				last = e.t
-			}
-			cur += e.speed
-			if cur < 0 && cur > -Eps {
-				cur = 0
-			}
-		}
-	}
-	return total
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return s.EnergyOf(ins, ivs)
 }
 
 // ValidateMode selects which invariants ValidateOutcome enforces.
@@ -156,159 +122,11 @@ type ValidateMode struct {
 //     summed machine-relatively (fractions work/p_ij adding to 1);
 //   - machines run at most one job at a time unless AllowParallel;
 //   - deadlines hold when RequireDeadlines.
+//
+// The audit runs on a pooled Scratch; hold your own Scratch and call its
+// ValidateOutcome to pin the arenas when auditing many outcomes in a loop.
 func ValidateOutcome(ins *Instance, o *Outcome, mode ValidateMode) error {
-	byJob := make(map[int][]Interval)
-	for _, iv := range ivSorted(o.Intervals) {
-		if iv.Start < -Eps || iv.End < iv.Start-Eps {
-			return fmt.Errorf("sched: interval %+v malformed", iv)
-		}
-		if iv.Speed <= 0 {
-			return fmt.Errorf("sched: interval %+v has non-positive speed", iv)
-		}
-		if iv.Machine < 0 || iv.Machine >= ins.Machines {
-			return fmt.Errorf("sched: interval %+v on unknown machine", iv)
-		}
-		if mode.RequireUnitSpeed && math.Abs(iv.Speed-1) > Eps {
-			return fmt.Errorf("sched: interval %+v not unit speed", iv)
-		}
-		byJob[iv.Job] = append(byJob[iv.Job], iv)
-	}
-	for k := range ins.Jobs {
-		j := &ins.Jobs[k]
-		_, done := o.Completed[j.ID]
-		rejT, rej := o.Rejected[j.ID]
-		if done && rej {
-			return fmt.Errorf("sched: job %d both completed and rejected", j.ID)
-		}
-		if !done && !rej {
-			return fmt.Errorf("sched: job %d neither completed nor rejected", j.ID)
-		}
-		ivs := byJob[j.ID]
-		if len(ivs) > 1 && !mode.AllowPreemption && !mode.AllowMigration {
-			return fmt.Errorf("sched: job %d executed in %d separate intervals (preempted)", j.ID, len(ivs))
-		}
-		// work accumulates delivered volume; under AllowMigration it
-		// accumulates the machine-relative fraction work/p_ij instead, so
-		// conservation is checked against 1 rather than one machine's
-		// processing time. completing tracks the machine of the
-		// latest-ending segment.
-		var work, lastEnd, prevEnd float64
-		machine, completing := -1, -1
-		for _, iv := range ivs {
-			if iv.Start < j.Release-Eps {
-				return fmt.Errorf("sched: job %d started %v before release %v", j.ID, iv.Start, j.Release)
-			}
-			if machine == -1 {
-				machine = iv.Machine
-			} else if machine != iv.Machine && !mode.AllowMigration {
-				return fmt.Errorf("sched: job %d migrated between machines %d and %d", j.ID, machine, iv.Machine)
-			}
-			// A job is sequential even when migratory: its segments (sorted
-			// by start) must be disjoint in time, or the job would execute
-			// on two machines at once — a hole the per-machine overlap
-			// check below cannot see.
-			if mode.AllowMigration && iv.Start < prevEnd-Eps*(1+prevEnd) {
-				return fmt.Errorf("sched: job %d executes on machines concurrently (segment at %v starts before %v)", j.ID, iv.Start, prevEnd)
-			}
-			if iv.End > prevEnd {
-				prevEnd = iv.End
-			}
-			if mode.AllowMigration {
-				work += iv.Work() / j.Proc[iv.Machine]
-			} else {
-				work += iv.Work()
-			}
-			if iv.End > lastEnd {
-				lastEnd = iv.End
-				completing = iv.Machine
-			}
-		}
-		if done {
-			if len(ivs) == 0 {
-				return fmt.Errorf("sched: completed job %d has no execution", j.ID)
-			}
-			if mode.AllowMigration {
-				// Tolerance mirrors the engine's sliver rule: a preemption
-				// within Eps of a start is deducted from the resumed volume
-				// but not recorded as an interval, so each segment boundary
-				// may hide up to Eps time — a fraction Eps/p̃_j on the
-				// fastest machine. The floor matches the engine audit's
-				// relative tolerance (its volAuditTol), which tracks true
-				// execution including unrecorded slivers and is the strict
-				// conservation check; this validator sees only the recorded
-				// intervals.
-				tol := Eps * (1 + float64(len(ivs))/j.MinProc())
-				if tol < 1e-6 {
-					tol = 1e-6
-				}
-				if math.Abs(work-1) > tol {
-					return fmt.Errorf("sched: job %d received %v of its volume across migratory segments (completing machine %d needs the full job)", j.ID, work, completing)
-				}
-			} else {
-				need := j.Proc[machine]
-				if math.Abs(work-need) > Eps*(1+need) {
-					return fmt.Errorf("sched: job %d got work %v on machine %d, needs %v", j.ID, work, machine, need)
-				}
-			}
-			if c := o.Completed[j.ID]; math.Abs(c-lastEnd) > Eps*(1+c) {
-				return fmt.Errorf("sched: job %d completion %v != last interval end %v", j.ID, c, lastEnd)
-			}
-			if mode.RequireDeadlines && o.Completed[j.ID] > j.Deadline+Eps*(1+j.Deadline) {
-				return fmt.Errorf("sched: job %d completed %v after deadline %v", j.ID, o.Completed[j.ID], j.Deadline)
-			}
-			if am, ok := o.Assigned[j.ID]; ok && am != machine && !mode.AllowMigration {
-				return fmt.Errorf("sched: job %d assigned to %d but ran on %d", j.ID, am, machine)
-			}
-		} else { // rejected
-			if len(ivs) > 0 {
-				if lastEnd > rejT+Eps*(1+rejT) {
-					return fmt.Errorf("sched: rejected job %d executed past its rejection time", j.ID)
-				}
-				if mode.AllowMigration {
-					if work > 1+Eps {
-						return fmt.Errorf("sched: rejected job %d over-processed across migratory segments", j.ID)
-					}
-				} else if work > j.Proc[machine]+Eps {
-					return fmt.Errorf("sched: rejected job %d over-processed", j.ID)
-				}
-			}
-			if rejT < j.Release-Eps {
-				return fmt.Errorf("sched: job %d rejected at %v before release %v", j.ID, rejT, j.Release)
-			}
-		}
-	}
-	for id := range byJob {
-		if ins.JobByID(id) == nil {
-			return fmt.Errorf("sched: interval references unknown job %d", id)
-		}
-	}
-	if !mode.AllowParallel {
-		perMachine := make([][]Interval, ins.Machines)
-		for _, iv := range o.Intervals {
-			if iv.Machine < 0 || iv.Machine >= ins.Machines {
-				return fmt.Errorf("sched: interval on unknown machine %d", iv.Machine)
-			}
-			perMachine[iv.Machine] = append(perMachine[iv.Machine], iv)
-		}
-		for i, ivs := range perMachine {
-			s := ivSorted(ivs)
-			for k := 1; k < len(s); k++ {
-				if s[k].Start < s[k-1].End-Eps*(1+s[k-1].End) {
-					return fmt.Errorf("sched: machine %d runs jobs %d and %d concurrently", i, s[k-1].Job, s[k].Job)
-				}
-			}
-		}
-	}
-	return nil
-}
-
-func ivSorted(ivs []Interval) []Interval {
-	out := append([]Interval(nil), ivs...)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Start != out[b].Start {
-			return out[a].Start < out[b].Start
-		}
-		return out[a].Job < out[b].Job
-	})
-	return out
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return s.ValidateOutcome(ins, o, mode)
 }
