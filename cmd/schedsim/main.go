@@ -23,6 +23,19 @@
 //	tracegen -ndjson -n 100000 | schedsim -stream -policy flowtime -eps 0.2
 //	tracegen -ndjson -n 100000 | schedsim -stream -batch 1024 -policy srpt
 //
+// Streaming sessions checkpoint and resume (see internal/snapshot and
+// DESIGN.md): -checkpoint FILE -checkpoint-every N atomically rewrites FILE
+// with a durable snapshot of the live session every N fed jobs (at batch
+// boundaries); -stop-after N stops feeding after about N jobs, writes a
+// final checkpoint and exits without a report, modeling a killed process;
+// -resume FILE reconstructs the session from a snapshot and replays the
+// trace, skipping the jobs the snapshot already absorbed — the final report
+// is bit-identical to an uninterrupted run over the same trace:
+//
+//	schedsim -stream -policy flowtime -eps 0.2 -checkpoint ck.snap -checkpoint-every 50000 big.ndjson
+//	schedsim -stream -policy flowtime -eps 0.2 -checkpoint ck.snap -stop-after 300000 big.ndjson
+//	schedsim -stream -policy flowtime -eps 0.2 -resume ck.snap big.ndjson
+//
 // With -compare the chosen non-preemptive policy (flowtime or wflow), its
 // preemptive engine-hosted counterpart (srpt or migratory wsrpt) and the
 // pooled preemptive SRPT lower bound all run on the same instance, and the
@@ -62,6 +75,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "dispatch worker count for the λ-dispatch policies (0: auto, 1: sequential)")
 		stream   = flag.Bool("stream", false, "consume an NDJSON trace incrementally (file or stdin)")
 		batch    = flag.Int("batch", 256, "stream ingestion batch size (1: per-job Feed path)")
+		ckpt     = flag.String("checkpoint", "", "stream mode: write session snapshots to this file")
+		ckptN    = flag.Int("checkpoint-every", 0, "stream mode: rewrite -checkpoint every N fed jobs")
+		stopN    = flag.Int("stop-after", 0, "stream mode: stop after about N jobs, write a final -checkpoint, exit without a report")
+		resume   = flag.String("resume", "", "stream mode: restore the session from this snapshot and skip the jobs it already absorbed")
 		compare  = flag.Bool("compare", false, "run the policy, its preemptive counterpart and the SRPT bound on the same instance")
 		dump     = flag.String("dump", "", "write the outcome JSON to this file")
 		showG    = flag.Bool("gantt", false, "print an ASCII machine timeline")
@@ -92,8 +109,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "schedsim: -gantt needs the full instance and does not combine with -stream")
 			os.Exit(2)
 		}
-		runStream(*policy, *eps, *alpha, *parallel, *batch, flag.Arg(0), *dump)
+		if (*ckptN > 0 || *stopN > 0) && *ckpt == "" {
+			fmt.Fprintln(os.Stderr, "schedsim: -checkpoint-every and -stop-after need -checkpoint FILE")
+			os.Exit(2)
+		}
+		runStream(*policy, *eps, *alpha, *parallel, *batch, flag.Arg(0), *dump,
+			streamCheckpoints{File: *ckpt, Every: *ckptN, StopAfter: *stopN, Resume: *resume})
 		return
+	}
+	if *ckpt != "" || *ckptN > 0 || *stopN > 0 || *resume != "" {
+		fmt.Fprintln(os.Stderr, "schedsim: -checkpoint/-checkpoint-every/-stop-after/-resume only apply to -stream")
+		os.Exit(2)
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: schedsim [flags] trace.json")
@@ -219,13 +245,39 @@ type jobFact struct {
 	weight  float64
 }
 
+// streamSession is what the checkpointing stream loop needs of a scheduler
+// session: batched feeding, freezing to a durable snapshot, and the count of
+// jobs already absorbed (which, on a resumed session, is the number of trace
+// jobs to skip).
+type streamSession interface {
+	engine.BatchFeeder
+	Snapshot(w io.Writer) error
+	Fed() int
+}
+
+// streamCheckpoints carries the checkpoint/resume configuration of a
+// streaming run.
+type streamCheckpoints struct {
+	File      string // snapshot path ("" disables checkpointing)
+	Every     int    // rewrite File every this many fed jobs (0: only on StopAfter)
+	StopAfter int    // stop feeding after about this many jobs (0: run to EOF)
+	Resume    string // snapshot to restore the session from ("" starts fresh)
+}
+
 // runStream consumes an NDJSON trace incrementally and feeds a streaming
 // scheduler session — in slabs of `batch` jobs through the FeedBatch fast
 // path (batch ≤ 1 selects the per-job Feed path) — then reports flow
 // metrics computed from the outcome and the O(1)-per-job facts logged at
 // feed time. A non-empty dump path receives the outcome JSON, as in batch
 // mode.
-func runStream(policy string, eps, alpha float64, parallel, batch int, path, dump string) {
+//
+// With ck.Resume the session is reconstructed from a snapshot and the trace
+// replays from the top, logging facts but skipping the session.Fed() jobs
+// the snapshot already absorbed; with ck.File the live session is frozen to
+// disk every ck.Every fed jobs (and before a ck.StopAfter exit), each
+// snapshot written to a temp file, fsynced and renamed into place so a crash
+// mid-checkpoint never corrupts the previous one.
+func runStream(policy string, eps, alpha float64, parallel, batch int, path, dump string, ck streamCheckpoints) {
 	in := io.Reader(os.Stdin)
 	name := "stdin"
 	if path != "" && path != "-" {
@@ -242,13 +294,29 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		fatal(err)
 	}
 
+	var resumeFrom io.ReadCloser
+	if ck.Resume != "" {
+		f, err := os.Open(ck.Resume)
+		if err != nil {
+			fatal(err)
+		}
+		resumeFrom = f
+	}
+
 	var (
-		fd     engine.BatchFeeder
+		fd     streamSession
 		finish func() (*sched.Outcome, error)
 	)
 	switch policy {
 	case "flowtime":
-		s, err := flowtime.NewSession(r.Machines(), flowtime.Options{Epsilon: eps, ParallelDispatch: parallel})
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: parallel}
+		var s *flowtime.Session
+		var err error
+		if resumeFrom != nil {
+			s, err = flowtime.Restore(resumeFrom, opt)
+		} else {
+			s, err = flowtime.NewSession(r.Machines(), opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -261,7 +329,14 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "wflow":
-		s, err := wflow.NewSession(r.Machines(), wflow.Options{Epsilon: eps, ParallelDispatch: parallel})
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: parallel}
+		var s *wflow.Session
+		var err error
+		if resumeFrom != nil {
+			s, err = wflow.Restore(resumeFrom, opt)
+		} else {
+			s, err = wflow.NewSession(r.Machines(), opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -278,7 +353,14 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		if a == 0 {
 			a = r.Alpha()
 		}
-		s, err := speedscale.NewSession(r.Machines(), speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel})
+		opt := speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel}
+		var s *speedscale.Session
+		var err error
+		if resumeFrom != nil {
+			s, err = speedscale.Restore(resumeFrom, opt)
+		} else {
+			s, err = speedscale.NewSession(r.Machines(), opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -291,7 +373,14 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "srpt":
-		s, err := srpt.NewSession(r.Machines(), srpt.Options{ParallelDispatch: parallel})
+		opt := srpt.Options{ParallelDispatch: parallel}
+		var s *srpt.Session
+		var err error
+		if resumeFrom != nil {
+			s, err = srpt.Restore(resumeFrom, opt)
+		} else {
+			s, err = srpt.NewSession(r.Machines(), opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -304,7 +393,13 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "wsrpt":
-		s, err := srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{})
+		var s *srpt.WeightedSession
+		var err error
+		if resumeFrom != nil {
+			s, err = srpt.RestoreWeighted(resumeFrom, srpt.WeightedOptions{})
+		} else {
+			s, err = srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{})
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -320,10 +415,55 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		fmt.Fprintf(os.Stderr, "schedsim: policy %q does not support -stream (use flowtime|wflow|speedscale|srpt|wsrpt)\n", policy)
 		os.Exit(2)
 	}
+	if resumeFrom != nil {
+		resumeFrom.Close()
+	}
 
 	var facts []jobFact
+	skip := fd.Fed() // jobs the restored snapshot already absorbed
+	fedHere := 0     // jobs fed by this process
+	sinceCkpt := 0
+	stopped := false
+
+	// ingest logs facts for every trace job, skips the prefix a resumed
+	// session already holds, feeds the rest, and handles the periodic
+	// checkpoint and the stop-after cutoff at slab granularity.
+	ingest := func(slab []sched.Job) {
+		for k := range slab {
+			facts = append(facts, jobFact{id: slab[k].ID, release: slab[k].Release, weight: slab[k].Weight})
+		}
+		if skip >= len(slab) {
+			skip -= len(slab)
+			return
+		}
+		slab = slab[skip:]
+		skip = 0
+		if err := fd.FeedBatch(slab); err != nil {
+			fatal(err)
+		}
+		fedHere += len(slab)
+		sinceCkpt += len(slab)
+		if ck.File != "" && ck.Every > 0 && sinceCkpt >= ck.Every {
+			if err := writeCheckpoint(ck.File, fd); err != nil {
+				fatal(err)
+			}
+			sinceCkpt = 0
+		}
+		if ck.StopAfter > 0 && fedHere >= ck.StopAfter {
+			if ck.File != "" {
+				if err := writeCheckpoint(ck.File, fd); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "schedsim: stopped after %d jobs (%d absorbed in total), checkpoint at %s\n",
+				fedHere, fd.Fed(), ck.File)
+			stopped = true
+		}
+	}
+
 	if batch <= 1 {
-		for {
+		one := make([]sched.Job, 1)
+		for !stopped {
 			j, err := r.Next()
 			if err == io.EOF {
 				break
@@ -331,10 +471,8 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			if err != nil {
 				fatal(err)
 			}
-			if err := fd.Feed(j); err != nil {
-				fatal(err)
-			}
-			facts = append(facts, jobFact{id: j.ID, release: j.Release, weight: j.Weight})
+			one[0] = j
+			ingest(one)
 		}
 	} else {
 		// Batched ingestion: decode a slab, feed it in one FeedBatch call,
@@ -342,21 +480,22 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		// is safe; each job's Proc slice is freshly decoded and stays owned
 		// by the session.
 		slab := make([]sched.Job, 0, batch)
-		for {
+		for !stopped {
 			slab, err = r.NextBatch(slab[:0], batch)
 			if err != nil && err != io.EOF {
 				fatal(err)
 			}
-			if ferr := fd.FeedBatch(slab); ferr != nil {
-				fatal(ferr)
-			}
-			for k := range slab {
-				facts = append(facts, jobFact{id: slab[k].ID, release: slab[k].Release, weight: slab[k].Weight})
-			}
+			ingest(slab)
 			if err == io.EOF {
 				break
 			}
 		}
+	}
+	if stopped {
+		return // the checkpoint is the product; no report for a killed run
+	}
+	if skip > 0 {
+		fatal(fmt.Errorf("snapshot absorbed %d more jobs than the trace provides — resuming against a different trace?", skip))
 	}
 	out, err := finish()
 	if err != nil {
@@ -525,6 +664,33 @@ func runCompare(policy string, eps float64, parallel int, path string) {
 		t.AddRowf("migrations", migrate)
 	}
 	fmt.Println(t)
+}
+
+// writeCheckpoint freezes the session into path atomically: the snapshot is
+// written to a sibling temp file, fsynced, and renamed over path, so a crash
+// mid-write leaves the previous checkpoint intact and a reader never sees a
+// half-written file.
+func writeCheckpoint(path string, s streamSession) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

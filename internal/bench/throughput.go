@@ -187,15 +187,24 @@ func runE16(cfg Config) (fmt.Stringer, error) {
 			if err := scratch.ValidateOutcome(parts[k], outs[k], sched.ValidateMode{RequireUnitSpeed: true}); err != nil {
 				return nil, fmt.Errorf("E16: shard %d outcome failed audit: %w", k, err)
 			}
-			sm, err := scratch.ComputeMetrics(parts[k], outs[k])
+			sm, err := scratch.ComputeMetricsFlows(parts[k], outs[k])
 			if err != nil {
 				return nil, fmt.Errorf("E16: shard %d metrics: %w", k, err)
 			}
 			shardMetrics[k] = sm
 		}
+		// The shards carry their flow samples, so the merged p99 is the
+		// exact population quantile; sanity-check it against the old
+		// max-of-shards upper bound.
 		fleet := sched.MergeMetrics(shardMetrics...)
 		if fleet.Completed+fleet.Rejected != n {
 			return nil, fmt.Errorf("E16: fleet view accounts %d jobs, want %d", fleet.Completed+fleet.Rejected, n)
+		}
+		for k := range shardMetrics {
+			shardMetrics[k].Flows = nil
+		}
+		if bound := sched.MergeMetrics(shardMetrics...).P99Flow; fleet.P99Flow > bound {
+			return nil, fmt.Errorf("E16: exact fleet p99 %v above the per-shard upper bound %v", fleet.P99Flow, bound)
 		}
 
 		jobsPerSec := float64(n) / el.Seconds()

@@ -1,0 +1,147 @@
+package srpt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func resumeInstances() []*sched.Instance {
+	var out []*sched.Instance
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := workload.DefaultConfig(500, 4, seed)
+		cfg.Load = 1.4
+		cfg.Weighted = true
+		out = append(out, workload.Random(cfg))
+	}
+	// Single machine under heavy load: the preemption-dense regime where the
+	// waiting treap carries many banked remainders at any watermark.
+	cfg := workload.DefaultConfig(300, 1, 11)
+	cfg.Load = 1.6
+	out = append(out, workload.Random(cfg))
+	return out
+}
+
+// TestSnapshotResumeMatchesRun is the checkpoint/restore golden test of the
+// preemptive comparator: a snapshot taken mid-stream carries banked
+// remainders (partially executed volumes frozen at preemption) and the
+// conservation ledger; restored runs must reproduce the uninterrupted
+// Result bit-for-bit — including the end-of-run volume-conservation audit
+// passing over preemption chains that straddle the snapshot.
+func TestSnapshotResumeMatchesRun(t *testing.T) {
+	for n, ins := range resumeInstances() {
+		batch, err := Run(ins, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: batch: %v", n, err)
+		}
+		for _, frac := range []float64{0.3, 0.7} {
+			cut := int(frac * float64(len(ins.Jobs)))
+			donor, err := NewSession(ins.Machines, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := donor.FeedBatch(ins.Jobs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := donor.Snapshot(&buf); err != nil {
+				t.Fatalf("instance %d cut %d: snapshot: %v", n, cut, err)
+			}
+
+			resumed, err := Restore(bytes.NewReader(buf.Bytes()), Options{})
+			if err != nil {
+				t.Fatalf("instance %d cut %d: restore: %v", n, cut, err)
+			}
+			if err := resumed.FeedBatch(ins.Jobs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+			res, err := resumed.Close()
+			if err != nil {
+				t.Fatalf("instance %d cut %d: close resumed: %v", n, cut, err)
+			}
+			if !reflect.DeepEqual(batch.Outcome, res.Outcome) {
+				t.Fatalf("instance %d cut %d: resumed outcome diverges from uninterrupted run", n, cut)
+			}
+			if batch.Preemptions != res.Preemptions {
+				t.Fatalf("instance %d cut %d: preemptions %d resumed vs %d batch", n, cut, res.Preemptions, batch.Preemptions)
+			}
+			if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{AllowPreemption: true, RequireUnitSpeed: true}); err != nil {
+				t.Fatalf("instance %d cut %d: resumed outcome fails audit: %v", n, cut, err)
+			}
+
+			if err := donor.FeedBatch(ins.Jobs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+			dres, err := donor.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch.Outcome, dres.Outcome) {
+				t.Fatalf("instance %d cut %d: Snapshot perturbed the donor", n, cut)
+			}
+		}
+	}
+}
+
+// TestWeightedSnapshotResumeMatchesRun repeats the resume golden test for
+// the migratory comparator: the dense fraction/min-proc/last-machine state
+// and the global density pool must survive the round trip, with migrations
+// across the snapshot boundary counted exactly once.
+func TestWeightedSnapshotResumeMatchesRun(t *testing.T) {
+	for n, ins := range resumeInstances() {
+		batch, err := RunWeighted(ins, WeightedOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: batch: %v", n, err)
+		}
+		for _, frac := range []float64{0.3, 0.7} {
+			cut := int(frac * float64(len(ins.Jobs)))
+			donor, err := NewWeightedSession(ins.Machines, WeightedOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := donor.FeedBatch(ins.Jobs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := donor.Snapshot(&buf); err != nil {
+				t.Fatalf("instance %d cut %d: snapshot: %v", n, cut, err)
+			}
+
+			resumed, err := RestoreWeighted(bytes.NewReader(buf.Bytes()), WeightedOptions{})
+			if err != nil {
+				t.Fatalf("instance %d cut %d: restore: %v", n, cut, err)
+			}
+			if err := resumed.FeedBatch(ins.Jobs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+			res, err := resumed.Close()
+			if err != nil {
+				t.Fatalf("instance %d cut %d: close resumed: %v", n, cut, err)
+			}
+			if !reflect.DeepEqual(batch.Outcome, res.Outcome) {
+				t.Fatalf("instance %d cut %d: resumed outcome diverges from uninterrupted run", n, cut)
+			}
+			if batch.Preemptions != res.Preemptions || batch.Migrations != res.Migrations {
+				t.Fatalf("instance %d cut %d: resumed tallies diverge (%d/%d vs %d/%d)",
+					n, cut, res.Preemptions, res.Migrations, batch.Preemptions, batch.Migrations)
+			}
+			if err := sched.ValidateOutcome(ins, res.Outcome, sched.ValidateMode{AllowMigration: true, RequireUnitSpeed: true}); err != nil {
+				t.Fatalf("instance %d cut %d: resumed outcome fails audit: %v", n, cut, err)
+			}
+
+			if err := donor.FeedBatch(ins.Jobs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+			dres, err := donor.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch.Outcome, dres.Outcome) {
+				t.Fatalf("instance %d cut %d: Snapshot perturbed the donor", n, cut)
+			}
+		}
+	}
+}

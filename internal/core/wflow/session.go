@@ -50,6 +50,13 @@ func (s *Session) FeedBatch(jobs []sched.Job) error { return s.es.FeedBatch(jobs
 // advances the simulation through time t.
 func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
 
+// Fed reports the number of jobs admitted so far (see engine.Session.Fed).
+func (s *Session) Fed() int { return s.es.Fed() }
+
+// Pending reports the number of jobs admitted but not yet completed or
+// rejected — the backpressure signal of engine.Session.Pending.
+func (s *Session) Pending() int { return s.es.Pending() }
+
 // Close drains the run to completion and returns the audited result.
 func (s *Session) Close() (*Result, error) {
 	out, err := s.es.Close()

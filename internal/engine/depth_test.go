@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestSessionPendingAndFed pins the queue-depth signal of a single session:
+// Pending counts jobs admitted but not yet completed/rejected, Fed counts
+// admissions.
+func TestSessionPendingAndFed(t *testing.T) {
+	s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fed() != 0 || s.Pending() != 0 {
+		t.Fatalf("fresh session: fed %d pending %d", s.Fed(), s.Pending())
+	}
+	// Three unit jobs at t=0 on one machine: nothing completes until the
+	// drain horizon passes their completion times.
+	for id := 0; id < 3; id++ {
+		if err := s.Feed(job(id, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Fed() != 3 || s.Pending() != 3 {
+		t.Fatalf("after 3 feeds: fed %d pending %d", s.Fed(), s.Pending())
+	}
+	// Advance past the first two completions (t=1, t=2) but not the third.
+	if err := s.AdvanceTo(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("after AdvanceTo(2.5): pending %d, want 1", s.Pending())
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 || s.Fed() != 3 {
+		t.Fatalf("after close: fed %d pending %d", s.Fed(), s.Pending())
+	}
+}
+
+// TestShardDepthAndQuiesce pins the fleet-level depth signal: jobs buffered
+// in producer slabs count toward Depth, Quiesce drives every lane to zero,
+// and the drained jobs show up in the sessions' own Pending.
+func TestShardDepthAndQuiesce(t *testing.T) {
+	const shards = 2
+	feeders := make([]Feeder, shards)
+	sessions := make([]*Session, shards)
+	for k := range feeders {
+		s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[k], feeders[k] = s, s
+	}
+	// Big slabs: nothing flushes on its own, so every fed job stays buffered.
+	sh := NewShardOpts(feeders, ShardOptions{MaxBatch: 1024, Slabs: 2})
+	const n = 40
+	for id := 0; id < n; id++ {
+		if err := sh.Feed(job(id, float64(id), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth := sh.Depth()
+	total := 0
+	for _, d := range depth {
+		total += d
+	}
+	if total != n {
+		t.Fatalf("buffered depth %v sums to %d, want %d", depth, total, n)
+	}
+	if err := sh.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	for k, d := range sh.Depth() {
+		if d != 0 {
+			t.Fatalf("lane %d depth %d after Quiesce", k, d)
+		}
+	}
+	// Every job is now inside a session: admitted, some still pending.
+	fed := 0
+	for _, s := range sessions {
+		fed += s.Fed()
+	}
+	if fed != n {
+		t.Fatalf("sessions report %d fed after quiesce, want %d", fed, n)
+	}
+	if err := sh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sessions {
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuiesceSurfacesFeedErrors pins that a worker-side admission error
+// (duplicate id) comes back from Quiesce, not only from Wait.
+func TestQuiesceSurfacesFeedErrors(t *testing.T) {
+	s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShardOpts([]Feeder{s}, ShardOptions{MaxBatch: 4, Slabs: 2})
+	for i := 0; i < 3; i++ {
+		if err := sh.Feed(job(7, 1, 1)); err != nil { // duplicate ids
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Quiesce(); err == nil {
+		t.Fatal("duplicate-id admission error not surfaced by Quiesce")
+	}
+	sh.Wait()
+	s.Close()
+}

@@ -164,6 +164,23 @@ func (s *Session) AdvanceTo(t float64) error {
 	return nil
 }
 
+// Fed reports the number of jobs admitted so far (valid after Close too).
+// Together with a deterministic trace it pins the resume point of a restored
+// snapshot: skipping Fed() jobs of the replayed stream continues exactly
+// where the donor session stopped.
+func (s *Session) Fed() int { return len(s.core.jobs) }
+
+// Pending reports the number of jobs admitted but not yet completed or
+// rejected — the in-flight backlog (queued arrivals, dispatched-but-waiting
+// jobs and running jobs). It is the session-level queue-depth signal a
+// front-end can throttle or pre-reject on before dispatch (see ROADMAP's
+// backpressure item); like every session method it must be called from the
+// goroutine that owns the session.
+func (s *Session) Pending() int {
+	c := &s.core
+	return len(c.jobs) - len(c.out.Completed) - len(c.out.Rejected)
+}
+
 // Close ends the stream: the remaining events drain (every fed job runs to
 // completion or rejection), the policy releases its resources, and both the
 // policy and engine invariants are audited. The outcome records exactly

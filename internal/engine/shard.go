@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -81,12 +82,17 @@ type ShardOptions struct {
 
 // shardLane is the per-shard half of the fan-out: a work channel of filled
 // slabs, a free channel recycling drained ones, and the producer-side slab
-// being filled. The worker owns err until Wait's join.
+// being filled. The worker owns err until Wait's join. fed counts jobs the
+// producer routed here (producer-side, unsynchronized); drained counts jobs
+// the worker has handed to the session (atomic, so the producer can read a
+// live depth signal without a barrier).
 type shardLane struct {
 	work    chan []sched.Job
 	free    chan []sched.Job
 	pending []sched.Job
 	err     error
+	fed     int
+	drained atomic.Int64
 }
 
 // Shard fans a job stream out to K independent sessions, each drained by its
@@ -108,8 +114,10 @@ type shardLane struct {
 // goroutine.
 type Shard struct {
 	lanes      []shardLane
+	feeders    []Feeder
 	route      RouteFunc
 	maxBatch   int
+	slabs      int
 	flushEvery int
 	sinceFlush int
 	wg         sync.WaitGroup
@@ -146,8 +154,10 @@ func NewShardOpts(feeders []Feeder, opt ShardOptions) *Shard {
 	}
 	sh := &Shard{
 		lanes:      make([]shardLane, len(feeders)),
+		feeders:    append([]Feeder(nil), feeders...),
 		route:      opt.Route,
 		maxBatch:   opt.MaxBatch,
+		slabs:      opt.Slabs,
 		flushEvery: opt.FlushEvery,
 	}
 	for k := range feeders {
@@ -175,6 +185,9 @@ func NewShardOpts(feeders []Feeder, opt ShardOptions) *Shard {
 						}
 					}
 				}
+				// The slab has left the buffer whether or not every job was
+				// admitted: Depth measures buffering, not admission.
+				ln.drained.Add(int64(len(slab)))
 				ln.free <- slab[:0]
 			}
 		}(ln, feeders[k])
@@ -200,6 +213,7 @@ func (sh *Shard) Feed(j sched.Job) error {
 		ln.pending = <-ln.free
 	}
 	ln.pending = append(ln.pending, j)
+	ln.fed++
 	if len(ln.pending) >= sh.maxBatch {
 		ln.work <- ln.pending
 		ln.pending = nil
@@ -244,6 +258,58 @@ func (sh *Shard) flush() {
 		}
 	}
 	sh.sinceFlush = 0
+}
+
+// Depth reports, per shard, the number of jobs admitted by Feed but not yet
+// drained into the shard's session — producer-side slab contents plus slabs
+// in flight to (or inside) the worker. It is the fleet-level queue-depth
+// signal of the ROADMAP's backpressure item: a producer can throttle, spill
+// or pre-reject when a lane's depth grows. Call it from the producer
+// goroutine (the worker side is read atomically, so the signal is fresh
+// within one slab).
+//
+// Depth measures ingestion buffering only; jobs already inside a session but
+// not yet completed are reported by that session's own Pending method.
+func (sh *Shard) Depth() []int {
+	out := make([]int, len(sh.lanes))
+	for k := range sh.lanes {
+		ln := &sh.lanes[k]
+		out[k] = ln.fed - int(ln.drained.Load())
+	}
+	return out
+}
+
+// Quiesce flushes every pending slab and blocks until all shard workers have
+// drained their queues, then returns the first worker error (nil when every
+// job so far was admitted). On return the underlying sessions are idle and
+// safe to inspect — or snapshot — from the caller's goroutine; the shard
+// stays open and feeding may resume afterwards.
+//
+// The barrier works by reclamation: the producer collects every slab of each
+// lane from the free channel. A worker returns a slab only after fully
+// ingesting it, so holding all of a lane's slabs proves the worker is parked
+// on an empty work queue.
+func (sh *Shard) Quiesce() error {
+	if sh.done {
+		return ErrClosed
+	}
+	sh.flush()
+	for k := range sh.lanes {
+		ln := &sh.lanes[k]
+		held := make([][]sched.Job, 0, sh.slabs)
+		for len(held) < sh.slabs {
+			held = append(held, <-ln.free)
+		}
+		for _, slab := range held {
+			ln.free <- slab
+		}
+	}
+	for k := range sh.lanes {
+		if err := sh.lanes[k].err; err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Wait closes the stream: pending slabs flush, the shard workers join, and

@@ -1,0 +1,583 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/eventq"
+	"repro/internal/ostree"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+)
+
+// StatefulPolicy is the checkpoint/restore hook of a Policy: a policy that
+// implements it can be frozen into a snapshot section and reconstructed in a
+// fresh process. All five scheduling policies of internal/core implement it.
+//
+// The contract mirrors the engine's bit-identical-resume guarantee: LoadState
+// applied to a freshly constructed policy (same options, same machine count)
+// must leave it in a state from which every future decision is identical to
+// the donor policy's — SaveState therefore has to enumerate every piece of
+// state that can influence a decision, including counters, accumulators and
+// the exact float bit patterns of any cached keys. Derived performance-only
+// state (tree shapes, arena free lists, pool buffers) is deliberately NOT
+// serialized: it is rebuilt on load and cannot influence outcomes.
+type StatefulPolicy interface {
+	Policy
+	// SnapshotTag identifies the policy implementation and its wire-format
+	// version (e.g. "flowtime/v1"). Restore fails loudly when the tag in the
+	// snapshot does not match the restoring policy's.
+	SnapshotTag() string
+	// SaveState serializes the policy's decision state. It must not mutate
+	// the policy: a snapshot is a read-only observation of a live session.
+	SaveState(e *snapshot.Encoder)
+	// LoadState reconstructs the decision state on a freshly constructed,
+	// already Bound policy. It validates as it decodes (option echoes,
+	// index ranges) and reports corruption via the decoder's positioned
+	// errors.
+	LoadState(d *snapshot.Decoder) error
+}
+
+// Section tags of the engine snapshot, written (and required on restore) in
+// this order. The policy section comes last so the whole engine state —
+// job table, machine run states, event queue, outcome — is available to
+// LoadState validation.
+const (
+	tagSession = "SESS"
+	tagJobs    = "JOBS"
+	tagDone    = "DONE"
+	tagMach    = "MACH"
+	tagQueue   = "EVTQ"
+	tagOutcome = "OUTC"
+	tagPolicy  = "POLI"
+)
+
+// Snapshot freezes the session into w as a versioned, CRC-guarded binary
+// snapshot (see internal/snapshot for the container format and DESIGN.md for
+// the section layout). The session is observed, never mutated: it remains
+// live and can keep feeding afterwards, so periodic checkpoints of a long
+// stream are cheap and safe at any watermark between feeds.
+//
+// The policy must implement StatefulPolicy; engine.Restore with a freshly
+// constructed policy of the same configuration rebuilds a session whose
+// future behavior — and final Outcome — is bit-identical to this one's.
+func (s *Session) Snapshot(w io.Writer) error {
+	if s.closed {
+		return ErrClosed
+	}
+	c := &s.core
+	sp, ok := c.pol.(StatefulPolicy)
+	if !ok {
+		return fmt.Errorf("engine: policy %T does not implement StatefulPolicy; session cannot be snapshotted", c.pol)
+	}
+	sw := snapshot.NewWriter(w)
+	sw.Section(tagSession, func(e *snapshot.Encoder) {
+		e.U32(uint32(len(c.mach)))
+		e.U64(uint64(len(c.jobs)))
+		e.F64(s.last)
+		e.F64(s.floor)
+		e.I64(int64(c.seq))
+	})
+	sw.Section(tagJobs, func(e *snapshot.Encoder) {
+		e.U64(uint64(len(c.jobs)))
+		for k := range c.jobs {
+			j := &c.jobs[k]
+			e.I64(int64(j.ID))
+			e.F64(j.Release)
+			e.F64(j.Weight)
+			e.F64(j.Deadline)
+			for _, p := range j.Proc {
+				e.F64(p)
+			}
+		}
+	})
+	sw.Section(tagDone, func(e *snapshot.Encoder) {
+		e.U64(uint64(len(c.done)))
+		for _, d := range c.done {
+			e.F64(d)
+		}
+	})
+	sw.Section(tagMach, func(e *snapshot.Encoder) {
+		e.U32(uint32(len(c.mach)))
+		for i := range c.mach {
+			m := &c.mach[i]
+			e.I64(int64(m.Running))
+			e.I64(int64(m.RunSeq))
+			e.F64(m.RunStart)
+			e.F64(m.RunVol)
+			e.F64(m.RunSpeed)
+		}
+	})
+	sw.Section(tagQueue, func(e *snapshot.Encoder) { c.q.Snapshot(e) })
+	sw.Section(tagOutcome, func(e *snapshot.Encoder) { snapshotOutcome(e, c.out) })
+	sw.Section(tagPolicy, func(e *snapshot.Encoder) {
+		e.Str(sp.SnapshotTag())
+		sp.SaveState(e)
+	})
+	return sw.Close()
+}
+
+// snapshotOutcome serializes the outcome with map entries sorted by job id,
+// so the same outcome always produces the same bytes (maps iterate in random
+// order; snapshots should not).
+func snapshotOutcome(e *snapshot.Encoder, o *sched.Outcome) {
+	e.U64(uint64(len(o.Intervals)))
+	for k := range o.Intervals {
+		iv := &o.Intervals[k]
+		e.I64(int64(iv.Job))
+		e.U32(uint32(iv.Machine))
+		e.F64(iv.Start)
+		e.F64(iv.End)
+		e.F64(iv.Speed)
+	}
+	writeIDMapF64 := func(m map[int]float64) {
+		ids := make([]int, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		e.U64(uint64(len(ids)))
+		for _, id := range ids {
+			e.I64(int64(id))
+			e.F64(m[id])
+		}
+	}
+	writeIDMapF64(o.Completed)
+	writeIDMapF64(o.Rejected)
+	ids := make([]int, 0, len(o.Assigned))
+	for id := range o.Assigned {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	e.U64(uint64(len(ids)))
+	for _, id := range ids {
+		e.I64(int64(id))
+		e.U32(uint32(o.Assigned[id]))
+	}
+}
+
+// Restore reconstructs a streaming session from a snapshot written by
+// Session.Snapshot. newPolicy is called once with the snapshot's machine
+// count and must return a freshly constructed policy configured exactly as
+// the donor's was (same options; performance-only knobs like dispatch
+// parallelism may differ) — the policy section's tag and option echoes are
+// cross-checked and a mismatch fails loudly rather than resuming into a
+// subtly different run.
+//
+// Every layer validates as it decodes: jobs replay the structural rules of
+// Session.Feed (including release order and id uniqueness), machine run
+// states and queued events are bounds-checked against the restored job
+// table, and each section's byte count must be consumed exactly. A restored
+// session continues precisely where the donor stopped: feeding the remaining
+// stream and closing yields an Outcome bit-identical to an uninterrupted
+// run's.
+func Restore(r io.Reader, newPolicy func(machines int) (Policy, error)) (*Session, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sr.Section(tagSession)
+	if err != nil {
+		return nil, err
+	}
+	machines := int(d.U32())
+	njobs := d.U64()
+	last := d.F64()
+	floor := d.F64()
+	coreSeq := d.I64()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if machines <= 0 || machines > 1<<24 {
+		return nil, fmt.Errorf("snapshot: session declares %d machines", machines)
+	}
+	if coreSeq < 0 || coreSeq > math.MaxInt32 {
+		return nil, fmt.Errorf("snapshot: session start-version counter %d out of range", coreSeq)
+	}
+	if njobs > math.MaxInt32 {
+		return nil, fmt.Errorf("snapshot: session declares %d jobs", njobs)
+	}
+
+	pol, err := newPolicy(machines)
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := pol.(StatefulPolicy)
+	if !ok {
+		pol.Close()
+		return nil, fmt.Errorf("engine: policy %T does not implement StatefulPolicy; snapshot cannot be restored into it", pol)
+	}
+	s := &Session{last: last, floor: floor}
+	s.core.init(pol, Options{Machines: machines, SizeHint: int(njobs)})
+	c := &s.core
+	c.seq = int32(coreSeq)
+	if err := restoreInto(sr, s, sp); err != nil {
+		pol.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreInto fills the pre-initialized session from the remaining sections.
+func restoreInto(sr *snapshot.Reader, s *Session, sp StatefulPolicy) error {
+	c := &s.core
+	machines := len(c.mach)
+
+	d, err := sr.Section(tagJobs)
+	if err != nil {
+		return err
+	}
+	perJob := 4*8 + 8*machines
+	n := d.Count(perJob)
+	lastRelease := math.Inf(-1)
+	for k := 0; k < n; k++ {
+		j := sched.Job{
+			ID:       d.Int(),
+			Release:  d.F64(),
+			Weight:   d.F64(),
+			Deadline: d.F64(),
+			Proc:     make([]float64, machines),
+		}
+		for i := range j.Proc {
+			j.Proc[i] = d.F64()
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		// The job table must replay cleanly through the same structural
+		// rules Feed enforces; a snapshot can only hold jobs Feed admitted.
+		if verr := sched.ValidateJob(&j, machines, lastRelease); verr != nil {
+			d.Failf("job %d of the snapshot is not feedable: %v", k, verr)
+			return d.Err()
+		}
+		if j.Release > lastRelease {
+			lastRelease = j.Release
+		}
+		if _, ok := c.ids.add(j.ID); !ok {
+			d.Failf("duplicate job id %d", j.ID)
+			return d.Err()
+		}
+		c.jobs = append(c.jobs, j)
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	njobs := len(c.jobs)
+
+	d, err = sr.Section(tagDone)
+	if err != nil {
+		return err
+	}
+	if got := d.Count(8); got != njobs {
+		d.Failf("%d conservation entries for %d jobs", got, njobs)
+		return d.Err()
+	}
+	for k := 0; k < njobs; k++ {
+		c.done = append(c.done, d.F64())
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+
+	d, err = sr.Section(tagMach)
+	if err != nil {
+		return err
+	}
+	if got := int(d.U32()); got != machines {
+		d.Failf("%d machine states for %d machines", got, machines)
+		return d.Err()
+	}
+	for i := range c.mach {
+		m := &c.mach[i]
+		running := d.I64()
+		runSeq := d.I64()
+		m.RunStart = d.F64()
+		m.RunVol = d.F64()
+		m.RunSpeed = d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if running < -1 || running >= int64(njobs) {
+			d.Failf("machine %d runs unknown job index %d", i, running)
+			return d.Err()
+		}
+		if runSeq < 0 || runSeq > int64(c.seq) {
+			d.Failf("machine %d start version %d above the session counter %d", i, runSeq, c.seq)
+			return d.Err()
+		}
+		if running != -1 && !(m.RunSpeed > 0) {
+			d.Failf("machine %d running at speed %v", i, m.RunSpeed)
+			return d.Err()
+		}
+		m.Running = int32(running)
+		m.RunSeq = int32(runSeq)
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+
+	d, err = sr.Section(tagQueue)
+	if err != nil {
+		return err
+	}
+	if err := c.q.Restore(d); err != nil {
+		return err
+	}
+	if err := validateEvents(&c.q, d, njobs, machines); err != nil {
+		return err
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+
+	d, err = sr.Section(tagOutcome)
+	if err != nil {
+		return err
+	}
+	if err := restoreOutcome(d, c); err != nil {
+		return err
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+
+	sp.Bind(c)
+	d, err = sr.Section(tagPolicy)
+	if err != nil {
+		return err
+	}
+	if tag := d.Str(); d.Err() == nil && tag != sp.SnapshotTag() {
+		return fmt.Errorf("snapshot: taken with policy %q, restoring into %q", tag, sp.SnapshotTag())
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := sp.LoadState(d); err != nil {
+		return err
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	return sr.End()
+}
+
+// ValidateTreeIDs walks a restored ostree and fails the decoder when a key
+// references a job the session never fed — a later IndexOf on such a key
+// would hand the policy a -1 index and panic deep inside an event handler,
+// far from the corrupt snapshot that caused it. what names the tree in the
+// error (e.g. "machine 3 pending").
+func ValidateTreeIDs(c *Core, t *ostree.Tree, d *snapshot.Decoder, what string) error {
+	bad, found := 0, false
+	t.Ascend(func(k ostree.Key) bool {
+		if c.IndexOf(k.ID) < 0 {
+			bad, found = k.ID, true
+			return false
+		}
+		return true
+	})
+	if found {
+		d.Failf("%s holds unknown job %d", what, bad)
+	}
+	return d.Err()
+}
+
+// SessionSnapshotter is a Feeder whose state can be frozen with Snapshot —
+// engine.Session and every scheduler session of internal/core implement it.
+// Shard.Snapshot requires it of each of its feeders.
+type SessionSnapshotter interface {
+	Feeder
+	Snapshot(w io.Writer) error
+}
+
+// Fleet snapshot tags: a fleet header followed by one nested session
+// snapshot per shard, each a complete self-contained snapshot stream
+// embedded as a section payload.
+const (
+	tagFleet = "FLET"
+	tagShard = "SHRD"
+)
+
+// Snapshot freezes the whole fleet into w: the shard quiesces (pending slabs
+// flush and every worker drains, so each session is at a consistent
+// watermark), every session is then serialized concurrently — one encoder
+// goroutine per shard, safe because quiesced workers are parked on their
+// empty work queues — and the per-shard snapshots are framed into one fleet
+// stream in shard order. Feeding may resume after Snapshot returns.
+//
+// The route function and slab sizing are not serialized (routes are code,
+// and slab knobs are performance-only): RestoreFleet's caller reattaches the
+// same route when rebuilding the Shard over the restored sessions, exactly
+// as it supplied it to NewShardOpts. Restoring under a different route would
+// break the per-shard release-order invariant and fail at the first feed.
+func (sh *Shard) Snapshot(w io.Writer) error {
+	if err := sh.Quiesce(); err != nil {
+		return err
+	}
+	snaps := make([]SessionSnapshotter, len(sh.feeders))
+	for k, f := range sh.feeders {
+		ss, ok := f.(SessionSnapshotter)
+		if !ok {
+			return fmt.Errorf("engine: shard %d feeder %T cannot be snapshotted", k, f)
+		}
+		snaps[k] = ss
+	}
+	bufs := make([]bytes.Buffer, len(snaps))
+	errs := make([]error, len(snaps))
+	var wg sync.WaitGroup
+	for k := range snaps {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = snaps[k].Snapshot(&bufs[k])
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: snapshotting shard %d: %w", k, err)
+		}
+	}
+	sw := snapshot.NewWriter(w)
+	sw.Section(tagFleet, func(e *snapshot.Encoder) { e.U32(uint32(len(snaps))) })
+	for k := range bufs {
+		sw.Section(tagShard, func(e *snapshot.Encoder) { e.Raw(bufs[k].Bytes()) })
+	}
+	return sw.Close()
+}
+
+// RestoreFleet walks a fleet snapshot written by Shard.Snapshot, invoking
+// restore once per shard with a reader positioned over that shard's complete
+// nested session snapshot. The callback restores the session with the
+// matching policy package's Restore (collecting it for the caller to rebuild
+// a Shard via NewShardOpts with the original route); any callback error
+// aborts the walk. It returns the shard count declared by the fleet header.
+func RestoreFleet(r io.Reader, restore func(shard int, r io.Reader) error) (int, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	d, err := sr.Section(tagFleet)
+	if err != nil {
+		return 0, err
+	}
+	shards := int(d.U32())
+	if err := d.Done(); err != nil {
+		return 0, err
+	}
+	if shards <= 0 || shards > 1<<20 {
+		return 0, fmt.Errorf("snapshot: fleet declares %d shards", shards)
+	}
+	for k := 0; k < shards; k++ {
+		d, err := sr.Section(tagShard)
+		if err != nil {
+			return 0, fmt.Errorf("snapshot: shard %d of %d: %w", k, shards, err)
+		}
+		payload := d.Rest()
+		if err := d.Done(); err != nil {
+			return 0, err
+		}
+		if err := restore(k, bytes.NewReader(payload)); err != nil {
+			return 0, fmt.Errorf("snapshot: restoring shard %d of %d: %w", k, shards, err)
+		}
+	}
+	return shards, sr.End()
+}
+
+// validateEvents bounds-checks the restored queue's payloads against the
+// restored job table and machine count. The queue package already verified
+// kinds, sequence numbers and the heap order; the engine owns the meaning of
+// the payload fields.
+func validateEvents(q *eventq.Queue, d *snapshot.Decoder, njobs, machines int) error {
+	ok := true
+	q.Scan(func(e *eventq.Event) bool {
+		if e.Job < -1 || int(e.Job) >= njobs || e.Machine < -1 || int(e.Machine) >= machines {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		d.Failf("queued event references an unknown job or machine")
+		return d.Err()
+	}
+	return nil
+}
+
+// restoreOutcome fills the session outcome, resolving every id against the
+// restored job table so later policy lookups can never index out of range.
+func restoreOutcome(d *snapshot.Decoder, c *Core) error {
+	njobs := len(c.jobs)
+	n := d.Count(8 + 4 + 3*8)
+	c.out.Intervals = slices.Grow(c.out.Intervals, n)
+	for k := 0; k < n; k++ {
+		iv := sched.Interval{
+			Job:     d.Int(),
+			Machine: int(int32(d.U32())),
+			Start:   d.F64(),
+			End:     d.F64(),
+			Speed:   d.F64(),
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if c.ids.of(iv.Job) < 0 || iv.Machine < 0 || iv.Machine >= len(c.mach) {
+			d.Failf("interval %d references unknown job %d or machine %d", k, iv.Job, iv.Machine)
+			return d.Err()
+		}
+		c.out.Intervals = append(c.out.Intervals, iv)
+	}
+	readIDMapF64 := func(m map[int]float64, what string) bool {
+		cnt := d.Count(16)
+		for k := 0; k < cnt; k++ {
+			id := d.Int()
+			t := d.F64()
+			if d.Err() != nil {
+				return false
+			}
+			if c.ids.of(id) < 0 {
+				d.Failf("%s entry references unknown job %d", what, id)
+				return false
+			}
+			if _, dup := m[id]; dup {
+				d.Failf("duplicate %s entry for job %d", what, id)
+				return false
+			}
+			m[id] = t
+		}
+		return true
+	}
+	if !readIDMapF64(c.out.Completed, "completion") {
+		return d.Err()
+	}
+	if !readIDMapF64(c.out.Rejected, "rejection") {
+		return d.Err()
+	}
+	cnt := d.Count(12)
+	for k := 0; k < cnt; k++ {
+		id := d.Int()
+		mach := int(int32(d.U32()))
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if c.ids.of(id) < 0 || mach < 0 || mach >= len(c.mach) {
+			d.Failf("assignment references unknown job %d or machine %d", id, mach)
+			return d.Err()
+		}
+		c.out.Assigned[id] = mach
+	}
+	if got := len(c.out.Completed) + len(c.out.Rejected); got > njobs {
+		d.Failf("%d jobs accounted in the outcome, only %d fed", got, njobs)
+		return d.Err()
+	}
+	for id := range c.out.Completed {
+		if _, both := c.out.Rejected[id]; both {
+			d.Failf("job %d both completed and rejected", id)
+			return d.Err()
+		}
+	}
+	return nil
+}

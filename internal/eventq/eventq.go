@@ -141,6 +141,18 @@ func (q *Queue) Peek() Event { return q.h[0] }
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
+// Scan calls fn on every pending event in heap order (not pop order),
+// stopping early when fn returns false. It exists for read-only audits of
+// the backlog — e.g. the snapshot restore path bounds-checking event
+// payloads — and must not be used to mutate events.
+func (q *Queue) Scan(fn func(e *Event) bool) {
+	for i := range q.h {
+		if !fn(&q.h[i]) {
+			return
+		}
+	}
+}
+
 func (q *Queue) siftUp(i int) {
 	h := q.h
 	e := h[i]

@@ -143,16 +143,25 @@ func (s *Scratch) ComputeMetrics(ins *Instance, o *Outcome) (Metrics, error) {
 	if len(flows) > 0 {
 		m.MeanFlow = m.TotalFlow / float64(len(flows))
 		slices.Sort(flows)
-		idx := int(math.Ceil(0.99*float64(len(flows)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		m.P99Flow = flows[idx]
+		m.P99Flow = quantileP99(flows)
 	}
 	s.flows = flows
 	if ins.Alpha > 0 {
 		m.Energy = s.EnergyOf(ins, o.Intervals)
 	}
+	return m, nil
+}
+
+// ComputeMetricsFlows is ComputeMetrics plus a copy of the sorted per-job
+// flow samples in Metrics.Flows (see the package-level ComputeMetricsFlows).
+// The copy is deliberate: the scratch arena recycles its flow buffer across
+// calls, and Metrics must not alias it.
+func (s *Scratch) ComputeMetricsFlows(ins *Instance, o *Outcome) (Metrics, error) {
+	m, err := s.ComputeMetrics(ins, o)
+	if err != nil {
+		return m, err
+	}
+	m.Flows = append(make([]float64, 0, len(s.flows)), s.flows...)
 	return m, nil
 }
 

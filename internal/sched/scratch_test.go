@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -62,7 +63,7 @@ func TestScratchReuseAcrossInstances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m1 != m2 {
+	if !reflect.DeepEqual(m1, m2) {
 		t.Fatalf("held scratch %+v diverges from pooled wrapper %+v", m1, m2)
 	}
 }
@@ -106,7 +107,7 @@ func TestMergeMetrics(t *testing.T) {
 	if want := 16.0 / 6.0; math.Abs(m.MeanFlow-want) > 1e-12 {
 		t.Fatalf("mean flow %v, want %v", m.MeanFlow, want)
 	}
-	if z := MergeMetrics(); z != (Metrics{}) {
+	if z := MergeMetrics(); !reflect.DeepEqual(z, Metrics{}) {
 		t.Fatalf("empty merge: %+v", z)
 	}
 }

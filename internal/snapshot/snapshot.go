@@ -1,0 +1,457 @@
+// Package snapshot is the wire format of the checkpoint/restore subsystem: a
+// versioned, self-describing binary container that the engine, the event
+// queue and every scheduling policy serialize their state into, so a live
+// streaming session can be frozen to durable storage and reconstructed
+// bit-identically in a fresh process (see internal/engine's Snapshot/Restore
+// and DESIGN.md).
+//
+// Layout:
+//
+//	file    = magic(8) version(u16 LE) section* end
+//	section = tag(4 ASCII bytes) length(u32 LE) payload crc32c(u32 LE)
+//	end     = "END\x00" 0 crc32c
+//
+// The CRC (Castagnoli polynomial) covers tag and payload of each section, so
+// a flipped bit anywhere in a frame is detected before any of its bytes are
+// interpreted. Sections are length-prefixed and the per-section Decoder is
+// bounds-checked on every primitive read, so truncated or corrupted input
+// fails with a positioned error ("section "JOBS": byte 17: …") — it can
+// never misparse into a plausible-looking wrong state. Count prefixes are
+// validated against the bytes remaining in the section before any slice is
+// allocated, so a hostile length cannot balloon memory.
+//
+// All integers are little-endian and fixed-width; float64s are serialized as
+// their IEEE-754 bit patterns (math.Float64bits), which makes encode→decode
+// exact for every value including ±Inf, NaN payloads and signed zeros — the
+// foundation of the bit-identical-resume guarantee.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the format version this build writes. Readers reject files with
+// a newer version (forward compatibility is not attempted: a snapshot is a
+// process-restart artifact, not an archival format).
+const Version = 1
+
+// magic identifies a snapshot stream.
+var magic = [8]byte{'S', 'C', 'H', 'S', 'N', 'A', 'P', 0}
+
+// EndTag terminates the section stream.
+const EndTag = "END\x00"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxInitialPayload caps the upfront allocation for one section's payload;
+// larger (legitimate) sections grow as bytes actually arrive, so a corrupt
+// length prefix on a truncated stream cannot demand gigabytes before the
+// read fails.
+const maxInitialPayload = 1 << 20
+
+// Encoder accumulates one section's payload. The zero value is ready; Reset
+// recycles the buffer across sections.
+type Encoder struct {
+	buf []byte
+}
+
+// Reset empties the encoder, keeping its storage.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian two's-complement int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as an I64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends the IEEE-754 bit pattern of v, exact for every float64.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a u32 length prefix and the raw bytes of s.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Raw appends b verbatim, without a length prefix — for sections whose whole
+// payload is an embedded byte blob (e.g. a nested per-shard snapshot inside
+// a fleet snapshot); the section frame itself carries the length.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Writer frames encoded sections onto an io.Writer. Errors are sticky: the
+// first write failure poisons every later call, so callers may check once at
+// Close.
+type Writer struct {
+	w      io.Writer
+	enc    Encoder
+	err    error
+	closed bool
+}
+
+// NewWriter writes the stream header and returns a section writer.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	var hdr [10]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		sw.err = fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	return sw
+}
+
+// Section encodes one section: fill populates the payload, then the frame
+// (tag, length, payload, CRC) is written. tag must be exactly 4 bytes.
+func (sw *Writer) Section(tag string, fill func(e *Encoder)) error {
+	if len(tag) != 4 {
+		panic(fmt.Sprintf("snapshot: section tag %q must be exactly 4 bytes", tag))
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		sw.err = fmt.Errorf("snapshot: section %q after Close", tag)
+		return sw.err
+	}
+	sw.enc.Reset()
+	fill(&sw.enc)
+	sw.err = sw.frame(tag, sw.enc.Bytes())
+	return sw.err
+}
+
+// frame writes one (tag, length, payload, crc) frame.
+func (sw *Writer) frame(tag string, payload []byte) error {
+	if len(payload) > math.MaxUint32 {
+		return fmt.Errorf("snapshot: section %q payload of %d bytes exceeds the u32 frame limit", tag, len(payload))
+	}
+	crc := crc32.Update(crc32.Checksum([]byte(tag), crcTable), crcTable, payload)
+	var hdr [8]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: writing section %q: %w", tag, err)
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		return fmt.Errorf("snapshot: writing section %q: %w", tag, err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := sw.w.Write(tail[:]); err != nil {
+		return fmt.Errorf("snapshot: writing section %q: %w", tag, err)
+	}
+	return nil
+}
+
+// Close writes the end section. It does not close the underlying writer.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	sw.err = sw.frame(EndTag, nil)
+	return sw.err
+}
+
+// Reader walks the sections of a snapshot stream.
+type Reader struct {
+	r     io.Reader
+	ended bool
+}
+
+// NewReader checks the stream header and returns a section reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", noEOF(err))
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot stream)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next reads the next section frame, verifies its CRC and returns its tag
+// and a Decoder over the payload. At the end section it returns io.EOF after
+// checking that no trailing bytes follow.
+func (sr *Reader) Next() (string, *Decoder, error) {
+	if sr.ended {
+		return "", nil, io.EOF
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("snapshot: reading section header: %w", noEOF(err))
+	}
+	tag := string(hdr[:4])
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	payload, err := readPayload(sr.r, int(n))
+	if err != nil {
+		return "", nil, fmt.Errorf("snapshot: section %q: %w", tag, err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
+		return "", nil, fmt.Errorf("snapshot: section %q: reading checksum: %w", tag, noEOF(err))
+	}
+	want := binary.LittleEndian.Uint32(tail[:])
+	got := crc32.Update(crc32.Checksum(hdr[:4], crcTable), crcTable, payload)
+	if got != want {
+		return "", nil, fmt.Errorf("snapshot: section %q: checksum mismatch (stored %08x, computed %08x): snapshot corrupted", tag, want, got)
+	}
+	if tag == EndTag {
+		sr.ended = true
+		if len(payload) != 0 {
+			return "", nil, fmt.Errorf("snapshot: end section carries %d payload bytes", len(payload))
+		}
+		var one [1]byte
+		switch _, err := io.ReadFull(sr.r, one[:]); err {
+		case io.EOF: // clean end of stream
+		case nil:
+			return "", nil, fmt.Errorf("snapshot: trailing data after end section")
+		default:
+			return "", nil, fmt.Errorf("snapshot: reading past end section: %w", err)
+		}
+		return "", nil, io.EOF
+	}
+	return tag, &Decoder{tag: tag, buf: payload}, nil
+}
+
+// Section reads the next section and requires its tag, enforcing the strict
+// section order the engine writes.
+func (sr *Reader) Section(tag string) (*Decoder, error) {
+	got, d, err := sr.Next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("snapshot: want section %q, stream already ended", tag)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("snapshot: want section %q, found %q", tag, got)
+	}
+	return d, nil
+}
+
+// End requires the end section (and nothing after it).
+func (sr *Reader) End() error {
+	got, _, err := sr.Next()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("snapshot: want end of stream, found section %q", got)
+}
+
+// readPayload reads exactly n bytes, growing the buffer as bytes arrive so a
+// corrupt length prefix on a short stream fails cheaply instead of
+// allocating n upfront.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= maxInitialPayload {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("payload truncated (want %d bytes): %w", n, noEOF(err))
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, maxInitialPayload)
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > maxInitialPayload {
+			chunk = maxInitialPayload
+		}
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[len(buf)-chunk:]); err != nil {
+			return nil, fmt.Errorf("payload truncated at %d of %d bytes: %w", len(buf)-chunk, n, noEOF(err))
+		}
+	}
+	return buf, nil
+}
+
+// noEOF converts io.EOF / io.ErrUnexpectedEOF into a single descriptive
+// truncation error, so callers never mistake a mid-frame EOF for a clean end
+// of stream.
+func noEOF(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("unexpected end of snapshot (truncated)")
+	}
+	return err
+}
+
+// Decoder reads one section's payload with sticky, positioned errors: the
+// first failed read records an error naming the section and byte offset, and
+// every later read returns the zero value. Callers check Err (or Done) once
+// per group of reads instead of after every primitive.
+type Decoder struct {
+	tag string
+	buf []byte
+	off int
+	err error
+}
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Done verifies the section decoded cleanly and was consumed exactly: sticky
+// errors surface here, and unread trailing bytes — a version-drift symptom —
+// fail loudly instead of being silently ignored.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("snapshot: section %q: %d trailing bytes after the last field", d.tag, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// fail records the first error with its position.
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: section %q: byte %d: truncated %s", d.tag, d.off, what)
+	}
+}
+
+// Failf records the first error with its position (for semantic validation
+// by callers, e.g. an out-of-range index).
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: section %q: byte %d: %s", d.tag, d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *Decoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a bool, rejecting values other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	if v > 1 {
+		d.Failf("invalid bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian two's-complement int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an I64 and narrows it to int, failing if it does not fit.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.Failf("integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads an IEEE-754 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a u32-length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U32()
+	if d.err == nil && int(n) > d.Remaining() {
+		d.Failf("string of %d bytes exceeds the %d remaining in the section", n, d.Remaining())
+		return ""
+	}
+	b := d.take(int(n), "string")
+	return string(b)
+}
+
+// Rest consumes and returns every unread payload byte — the counterpart of
+// Encoder.Raw. It returns nil after any earlier error.
+func (d *Decoder) Rest() []byte {
+	return d.take(d.Remaining(), "raw payload")
+}
+
+// Count reads a u64 element count and validates it against the bytes
+// remaining in the section (each element needs at least elemBytes), so a
+// corrupt count can never drive a huge allocation or a long loop. It returns
+// 0 after any error.
+func (d *Decoder) Count(elemBytes int) int {
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	v := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(d.Remaining()/elemBytes) {
+		d.Failf("count %d exceeds the %d bytes remaining in the section", v, d.Remaining())
+		return 0
+	}
+	return int(v)
+}
