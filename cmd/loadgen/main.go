@@ -1,0 +1,165 @@
+// Command loadgen is the fault-injecting load driver for schedserve: it
+// fans a synthetic multi-tenant workload out through retrying chaos clients
+// (internal/chaos), optionally killing its own connections and truncating
+// frames mid-batch, then drains the server and audits the final report
+// against what the clients saw acknowledged.
+//
+// Usage:
+//
+//	loadgen -server http://127.0.0.1:8080 -tenants 4 -jobs 5000
+//	loadgen -server ... -kills 2 -truncations 1 -window 500      # client faults
+//	loadgen -server ... -drain -report-out report.json           # drain + audit
+//	loadgen -server ... -no-feed -drain -report-out after.json   # drain only
+//
+// With -drain the exit status is the audit: 0 only if the drained report
+// balances — every submitted job fed or pre-rejected, every fed job
+// completed or rejected, and each tenant's pre-rejected weight within its
+// ε-scaled budget (the invariant of Lucarelli et al.'s rejection budget,
+// applied at the admission boundary). The CI chaos smoke SIGKILLs schedserve
+// under this driver, resumes it from its checkpoint, replays with a second
+// loadgen run, and diffs -report-out files between the interrupted and
+// straight-through universes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/chaos"
+	"repro/internal/front"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "http://127.0.0.1:8080", "schedserve base URL")
+		tenants  = flag.Int("tenants", 4, "concurrent tenant streams")
+		jobs     = flag.Int("jobs", 2000, "jobs per tenant")
+		machines = flag.Int("machines", 8, "machine count (must match the server)")
+		load     = flag.Float64("load", 1.2, "workload load factor")
+		seed     = flag.Int64("seed", 7, "workload base seed (tenant t uses seed+t)")
+		rate     = flag.Float64("rate", 0, "per-tenant pacing, jobs/sec (0: unpaced)")
+
+		kills    = flag.Int("kills", 0, "per tenant: connections to kill mid-batch")
+		truncs   = flag.Int("truncations", 0, "per tenant: frames to truncate")
+		window   = flag.Int("window", 200, "inject each fault within this many jobs of stream start")
+		attempts = flag.Int("max-attempts", 32, "per tenant: connection attempt budget")
+
+		wait      = flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before feeding")
+		noFeed    = flag.Bool("no-feed", false, "skip feeding (use with -drain to audit a server fed earlier)")
+		drain     = flag.Bool("drain", false, "drain the server afterwards and audit the final report")
+		reportOut = flag.String("report-out", "", "write the drained report JSON here (requires -drain)")
+		verbose   = flag.Bool("v", false, "log per-tenant progress")
+	)
+	flag.Parse()
+	if *reportOut != "" && !*drain {
+		fatal(fmt.Errorf("-report-out needs -drain"))
+	}
+
+	ctx := context.Background()
+	if err := chaos.WaitReady(ctx, nil, *server, *wait); err != nil {
+		fatal(err)
+	}
+
+	submitted := 0
+	if !*noFeed {
+		var wg sync.WaitGroup
+		results := make([]*chaos.Result, *tenants)
+		errs := make([]error, *tenants)
+		for t := 0; t < *tenants; t++ {
+			c := workload.DefaultConfig(*jobs, *machines, *seed+int64(t))
+			c.Load = *load
+			trace := workload.Random(c).Jobs
+			cl := &chaos.Client{
+				Server:      *server,
+				Tenant:      t,
+				Machines:    *machines,
+				MaxAttempts: *attempts,
+				Rate:        *rate,
+				Faults:      chaos.Faults{Kills: *kills, Truncations: *truncs, Window: *window},
+				Seed:        uint64(*seed) + uint64(t)*0x9e3779b97f4a7c15,
+			}
+			if *verbose {
+				tt := t
+				cl.Log = func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "loadgen: tenant %d: %s\n", tt, fmt.Sprintf(format, args...))
+				}
+			}
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				results[t], errs[t] = cl.Run(ctx, trace)
+			}(t)
+		}
+		wg.Wait()
+		for t, err := range errs {
+			if err != nil {
+				fatal(fmt.Errorf("tenant %d: %w", t, err))
+			}
+		}
+		for t, res := range results {
+			submitted += res.OK + res.Rejected + res.Dup
+			fmt.Fprintf(os.Stderr, "loadgen: tenant %d: %d ok, %d rejected, %d dup in %d attempts (%d kills, %d truncations)\n",
+				t, res.OK, res.Rejected, res.Dup, res.Attempts, res.Kills, res.Truncations)
+		}
+		if submitted != *tenants**jobs {
+			fatal(fmt.Errorf("clients account for %d jobs, submitted %d", submitted, *tenants**jobs))
+		}
+	}
+
+	if !*drain {
+		return
+	}
+	raw, err := chaos.Drain(ctx, nil, *server)
+	if err != nil {
+		fatal(err)
+	}
+	var rep front.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("decoding drained report: %w", err))
+	}
+	if *reportOut != "" {
+		if err := os.WriteFile(*reportOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	// The audit. Conservation against the client's own ledger runs only when
+	// this process fed the jobs; the structural invariants always hold.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadgen: AUDIT FAILED: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	if !*noFeed && rep.Fed+rep.PreRejected != submitted {
+		fail("server decided %d jobs (%d fed + %d pre-rejected), clients submitted %d",
+			rep.Fed+rep.PreRejected, rep.Fed, rep.PreRejected, submitted)
+	}
+	if rep.Completed+rep.Rejected != rep.Fed {
+		fail("fed %d but completed %d + rejected %d — the fleet dropped jobs",
+			rep.Fed, rep.Completed, rep.Rejected)
+	}
+	acfg := admission.Config{Epsilon: rep.AdmissionEpsilon, Burst: rep.AdmissionBurst}
+	for _, tr := range rep.Tenants {
+		ten := admission.Tenant{ID: tr.ID, Fed: tr.Fed, FedWeight: tr.FedWeight,
+			PreRejected: tr.PreRejected, PreRejectedWeight: tr.PreRejectedWeight}
+		if err := admission.BudgetInvariant(acfg, ten, 1e-9); err != nil {
+			fail("%v", err)
+		}
+		if tr.Completed+tr.Rejected != tr.Fed {
+			fail("tenant %d: fed %d but completed %d + rejected %d", tr.ID, tr.Fed, tr.Completed, tr.Rejected)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: audit ok: %d fed, %d pre-rejected, %d completed, %d rejected (weight %.6g)\n",
+		rep.Fed, rep.PreRejected, rep.Completed, rep.Rejected, rep.RejectedWeight)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

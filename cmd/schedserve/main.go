@@ -1,0 +1,159 @@
+// Command schedserve is the network front door of the scheduling engine: a
+// streaming HTTP server that ingests NDJSON job streams from concurrent
+// tenants, multiplexes them deterministically onto an engine.Shard fleet,
+// and survives overload and faults by construction (see internal/front).
+//
+// Usage:
+//
+//	schedserve -listen :8080 -policy flowtime -eps 0.2 -machines 8 -shards 4
+//	schedserve -listen :8080 -throttle-depth 2048 -reject-depth 8192 -adm-eps 0.2
+//	schedserve -listen :8080 -checkpoint serve.snap -checkpoint-every 50000
+//	schedserve -listen :8080 -resume serve.snap               # after a crash
+//	schedserve -listen :8080 -stall-every 64 -stall-delay 2ms # fault injection
+//
+// Wire protocol (reference client: internal/chaos.Client, load driver:
+// cmd/loadgen):
+//
+//	POST /v1/feed?tenant=T   NDJSON jobs in, NDJSON acks out (streaming)
+//	POST /v1/drain           drain the fleet, respond with the final report
+//	GET  /v1/stats           live counters
+//	GET  /healthz            readiness
+//
+// SIGTERM or SIGINT drains gracefully: live streams are refused and aborted,
+// queued jobs get their verdicts, the fleet quiesces, a final checkpoint is
+// written when -checkpoint is set, and the deterministic report lands on
+// stdout. A SIGKILLed server instead resumes from its last periodic
+// checkpoint via -resume; clients replay their streams (duplicates ack as
+// dups) and the final report converges to the uninterrupted run's.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/chaos"
+	"repro/internal/front"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		policy   = flag.String("policy", "flowtime", "flowtime|wflow|speedscale|srpt|wsrpt")
+		eps      = flag.Float64("eps", 0.2, "scheduler rejection parameter ε")
+		alpha    = flag.Float64("alpha", 0, "power exponent (speedscale)")
+		machines = flag.Int("machines", 8, "machines per shard session")
+		shards   = flag.Int("shards", 1, "scheduler shard count")
+
+		throttleDepth = flag.Int("throttle-depth", 0, "depth watermark: accept → throttle (0 disables)")
+		rejectDepth   = flag.Int("reject-depth", 0, "depth watermark: throttle → pre-reject (0 disables)")
+		resumeDepth   = flag.Int("resume-depth", 0, "hysteresis floor back to accept (0: half the low watermark)")
+		admEps        = flag.Float64("adm-eps", 0, "per-tenant pre-rejection budget rate (ε·fed weight)")
+		admBurst      = flag.Float64("adm-burst", 0, "initial per-tenant pre-rejection allowance (weight)")
+		maxQueuedW    = flag.Float64("max-queued-weight", 0, "per-tenant queued-weight cap (0: unlimited)")
+
+		queueDepth    = flag.Int("queue-depth", 256, "per-stream sequencer queue depth (jobs)")
+		awaitTenants  = flag.Int("await-tenants", 0, "hold the merge until this many tenants connect")
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline on feed connections")
+		throttleDelay = flag.Duration("throttle-delay", time.Millisecond, "per-job intake delay while throttling")
+
+		ckpt   = flag.String("checkpoint", "", "write durable snapshots to this file")
+		ckptN  = flag.Int("checkpoint-every", 0, "checkpoint every N fed jobs (0: final drain only)")
+		resume = flag.String("resume", "", "restore the server from this snapshot before serving")
+
+		stallEvery = flag.Int("stall-every", 0, "fault injection: stall each shard feeder every N jobs (0 disables)")
+		stallDelay = flag.Duration("stall-delay", 0, "fault injection: stall duration")
+	)
+	flag.Parse()
+
+	cfg := front.Config{
+		Policy:   *policy,
+		Epsilon:  *eps,
+		Alpha:    *alpha,
+		Machines: *machines,
+		Shards:   *shards,
+		Admission: admission.Config{
+			ThrottleDepth:   *throttleDepth,
+			RejectDepth:     *rejectDepth,
+			ResumeDepth:     *resumeDepth,
+			Epsilon:         *admEps,
+			Burst:           *admBurst,
+			MaxQueuedWeight: *maxQueuedW,
+		},
+		QueueDepth:      *queueDepth,
+		AwaitTenants:    *awaitTenants,
+		ReadTimeout:     *readTimeout,
+		ThrottleDelay:   *throttleDelay,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptN,
+		Stall:           chaos.Stall{Every: *stallEvery, Delay: *stallDelay},
+	}
+
+	var (
+		srv *front.Server
+		err error
+	)
+	if *resume != "" {
+		f, ferr := os.Open(*resume)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		srv, err = front.Restore(cfg, f)
+		f.Close()
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "schedserve: resumed from %s: %d fed, %d pre-rejected\n",
+				*resume, srv.Stats().Fed, srv.Stats().PreRejected)
+		}
+	} else {
+		srv, err = front.New(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "schedserve: %s ε=%v on %s (m=%d × %d shards)\n",
+		*policy, *eps, *listen, *machines, *shards)
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-httpDone:
+		fatal(err) // the listener died out from under us
+	case sig := <-sigC:
+		fmt.Fprintf(os.Stderr, "schedserve: %v, draining\n", sig)
+	}
+
+	// Graceful drain: the front door refuses new streams, finishes verdicts,
+	// quiesces the fleet, writes the final checkpoint, and the report goes to
+	// stdout — then the HTTP listener closes.
+	rep, err := srv.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedserve:", err)
+	os.Exit(1)
+}

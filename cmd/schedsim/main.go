@@ -26,7 +26,10 @@
 // Streaming sessions checkpoint and resume (see internal/snapshot and
 // DESIGN.md): -checkpoint FILE -checkpoint-every N atomically rewrites FILE
 // with a durable snapshot of the live session every N fed jobs (at batch
-// boundaries); -stop-after N stops feeding after about N jobs, writes a
+// boundaries); SIGINT or SIGTERM mid-stream also writes a final checkpoint
+// to -checkpoint before exiting nonzero (status 3), so an orchestrator's
+// shutdown is a resumable event rather than lost work; -stop-after N stops
+// feeding after about N jobs, writes a
 // final checkpoint and exits without a report, modeling a killed process;
 // -resume FILE reconstructs the session from a snapshot and replays the
 // trace, skipping the jobs the snapshot already absorbed — the final report
@@ -51,6 +54,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/core/energymin"
@@ -425,6 +430,31 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 	sinceCkpt := 0
 	stopped := false
 
+	// SIGINT/SIGTERM land between slabs: the current slab finishes feeding,
+	// a final checkpoint (if -checkpoint is set) freezes the session, and the
+	// process exits nonzero — the report is the survivor's job, via -resume.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	interrupted := func() bool {
+		select {
+		case sig := <-sigC:
+			if ck.File != "" {
+				if err := writeCheckpoint(ck.File, fd); err != nil {
+					fatal(fmt.Errorf("checkpoint on %v: %w", sig, err))
+				}
+				fmt.Fprintf(os.Stderr, "schedsim: %v after %d jobs (%d absorbed in total), checkpoint at %s\n",
+					sig, fedHere, fd.Fed(), ck.File)
+			} else {
+				fmt.Fprintf(os.Stderr, "schedsim: %v after %d jobs, no -checkpoint to save to\n", sig, fedHere)
+			}
+			os.Exit(3)
+			return true
+		default:
+			return false
+		}
+	}
+
 	// ingest logs facts for every trace job, skips the prefix a resumed
 	// session already holds, feeds the rest, and handles the periodic
 	// checkpoint and the stop-after cutoff at slab granularity.
@@ -463,7 +493,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 
 	if batch <= 1 {
 		one := make([]sched.Job, 1)
-		for !stopped {
+		for !stopped && !interrupted() {
 			j, err := r.Next()
 			if err == io.EOF {
 				break
@@ -480,7 +510,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		// is safe; each job's Proc slice is freshly decoded and stays owned
 		// by the session.
 		slab := make([]sched.Job, 0, batch)
-		for !stopped {
+		for !stopped && !interrupted() {
 			slab, err = r.NextBatch(slab[:0], batch)
 			if err != nil && err != io.EOF {
 				fatal(err)

@@ -62,6 +62,11 @@ func (s *Session) Fed() int { return s.es.Fed() }
 // rejected — the backpressure signal of engine.Session.Pending.
 func (s *Session) Pending() int { return s.es.Pending() }
 
+// EachFed visits every admitted job in feed order (see
+// engine.Session.EachFed); call it only from the owning goroutine, or after
+// a Shard Quiesce/Wait barrier.
+func (s *Session) EachFed(f func(j *sched.Job)) { s.es.EachFed(f) }
+
 // Close drains the run to completion and returns the audited result.
 func (s *Session) Close() (*Result, error) {
 	out, err := s.es.Close()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -114,4 +115,95 @@ func TestQuiesceSurfacesFeedErrors(t *testing.T) {
 	}
 	sh.Wait()
 	s.Close()
+}
+
+// TestDepthSignalsUnderConcurrentFeeding is the race-detector companion to
+// the depth tests above: several independent fleets feed concurrently with
+// tiny slabs (so slab rotation — the producer/worker handoff and the atomic
+// drained counters behind Depth — churns constantly), each producer polling
+// Depth and DepthTotal between feeds exactly the way an admission controller
+// does, pausing at Quiesce barriers mid-stream to read the sessions' own
+// Pending/Fed, then resuming. Run with -race, it proves the depth signal is
+// readable at full ingestion speed without a lock on the hot path.
+func TestDepthSignalsUnderConcurrentFeeding(t *testing.T) {
+	const (
+		fleets = 4
+		shards = 3
+		jobs   = 600
+		pause  = 150 // Quiesce every this many jobs
+	)
+	var wg sync.WaitGroup
+	for f := 0; f < fleets; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions := make([]*Session, shards)
+			feeders := make([]Feeder, shards)
+			for k := range feeders {
+				s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sessions[k], feeders[k] = s, s
+			}
+			// MaxBatch 4, Slabs 2: every few feeds hands a slab across the
+			// channel and reclaims a drained one.
+			sh := NewShardOpts(feeders, ShardOptions{MaxBatch: 4, Slabs: 2})
+			for id := 0; id < jobs; id++ {
+				if err := sh.Feed(job(id, float64(id)*0.01, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				// Admission-controller cadence: a depth read per fed job,
+				// racing the workers' drained-side updates.
+				if sh.DepthTotal() < 0 {
+					t.Error("negative depth")
+					return
+				}
+				if id%17 == 0 {
+					for _, d := range sh.Depth() {
+						if d < 0 {
+							t.Error("negative lane depth")
+							return
+						}
+					}
+				}
+				if (id+1)%pause == 0 {
+					if err := sh.Quiesce(); err != nil {
+						t.Error(err)
+						return
+					}
+					if got := sh.DepthTotal(); got != 0 {
+						t.Errorf("depth %d after Quiesce, want 0", got)
+						return
+					}
+					// The barrier makes the sessions inspectable from here.
+					fed := 0
+					for _, s := range sessions {
+						fed += s.Fed()
+						if s.Pending() < 0 {
+							t.Error("negative pending")
+							return
+						}
+					}
+					if fed != id+1 {
+						t.Errorf("sessions absorbed %d of %d fed", fed, id+1)
+						return
+					}
+				}
+			}
+			if err := sh.Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, s := range sessions {
+				if _, err := s.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -181,6 +181,20 @@ func (s *Session) Pending() int {
 	return len(c.jobs) - len(c.out.Completed) - len(c.out.Rejected)
 }
 
+// EachFed visits every job admitted so far, in feed order. The visited Job
+// is the session's copy — read it, don't retain or mutate it. A network
+// front door uses this to rebuild its duplicate-suppression ledger from a
+// restored snapshot (the session's job table is the authoritative record of
+// what was fed) and to compute per-job flow metrics at drain time without
+// keeping a parallel fact log. Like every session method it must be called
+// from the goroutine that owns the session — for sessions behind a Shard,
+// only after Quiesce or Wait.
+func (s *Session) EachFed(f func(j *sched.Job)) {
+	for k := range s.core.jobs {
+		f(&s.core.jobs[k])
+	}
+}
+
 // Close ends the stream: the remaining events drain (every fed job runs to
 // completion or rejection), the policy releases its resources, and both the
 // policy and engine invariants are audited. The outcome records exactly

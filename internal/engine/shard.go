@@ -279,6 +279,20 @@ func (sh *Shard) Depth() []int {
 	return out
 }
 
+// DepthTotal reports the total ingestion backlog across all lanes — the sum
+// of Depth without the per-lane slice. It is the allocation-free form an
+// admission controller polls once per admitted job: the producer-side
+// counters are plain reads (producer goroutine only) and the drained side is
+// atomic, so the signal is fresh within one slab.
+func (sh *Shard) DepthTotal() int {
+	total := 0
+	for k := range sh.lanes {
+		ln := &sh.lanes[k]
+		total += ln.fed - int(ln.drained.Load())
+	}
+	return total
+}
+
 // Quiesce flushes every pending slab and blocks until all shard workers have
 // drained their queues, then returns the first worker error (nil when every
 // job so far was admitted). On return the underlying sessions are idle and

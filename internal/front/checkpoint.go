@@ -1,0 +1,216 @@
+package front
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/admission"
+	"repro/internal/engine"
+	"repro/internal/snapshot"
+)
+
+// Front-door checkpoint layout, one snapshot container (internal/snapshot)
+// wrapping the fleet snapshot with the front door's own state:
+//
+//	FRNT — config echo (policy, machines, shards, ε, α, admission budget
+//	       parameters), merge watermark
+//	TENS — admission ledgers, sorted by tenant
+//	PREJ — pre-rejection ledger (gid, release, weight), in decision order
+//	FLTB — the engine fleet snapshot (Shard.Snapshot), embedded raw
+//
+// The duplicate-suppression set is NOT serialized: it is exactly the union
+// of the fleet's fed jobs (recovered via EachFed) and the PREJ ledger, and
+// rebuilding it from those sources keeps the two representations from ever
+// disagreeing.
+const (
+	tagFront   = "FRNT"
+	tagTenants = "TENS"
+	tagPreRej  = "PREJ"
+	tagFleet   = "FLTB"
+)
+
+// snapshotTo freezes the front door into w. Sequencer-owned state is read
+// directly: this runs on the sequencer goroutine (periodic cadence or
+// drain), never concurrently with processing.
+func (s *Server) snapshotTo(w io.Writer) error {
+	var fleetBuf bytes.Buffer
+	if err := s.fleet.Snapshot(&fleetBuf); err != nil {
+		return err
+	}
+	sw := snapshot.NewWriter(w)
+	sw.Section(tagFront, func(e *snapshot.Encoder) {
+		e.Str(s.cfg.Policy)
+		e.U32(uint32(s.cfg.Machines))
+		e.U32(uint32(s.cfg.Shards))
+		e.F64(s.cfg.Epsilon)
+		e.F64(s.cfg.Alpha)
+		e.F64(s.cfg.Admission.Epsilon)
+		e.F64(s.cfg.Admission.Burst)
+		e.F64(s.watermark)
+	})
+	sw.Section(tagTenants, func(e *snapshot.Encoder) {
+		tens := s.adm.Tenants()
+		e.Int(len(tens))
+		for _, t := range tens {
+			e.Int(t.ID)
+			e.Int(t.Fed)
+			e.F64(t.FedWeight)
+			e.Int(t.PreRejected)
+			e.F64(t.PreRejectedWeight)
+			e.F64(t.Budget)
+		}
+	})
+	sw.Section(tagPreRej, func(e *snapshot.Encoder) {
+		e.Int(len(s.preRej))
+		for _, pr := range s.preRej {
+			e.Int(pr.gid)
+			e.F64(pr.release)
+			e.F64(pr.weight)
+		}
+	})
+	sw.Section(tagFleet, func(e *snapshot.Encoder) { e.Raw(fleetBuf.Bytes()) })
+	return sw.Close()
+}
+
+// Restore rebuilds a front door from a checkpoint written by its periodic
+// cadence or final drain. cfg must agree with the donor's scheduling
+// identity — policy, machines, shards, scheduler ε/α, and the admission
+// budget parameters (ε, burst) that the restored ledgers were earned under;
+// a mismatch fails loudly. Watermark knobs, queue depths, timeouts and
+// fault injection may differ freely: they shape timing, never verdicts.
+//
+// The restored server resumes exactly at the checkpoint's merge prefix:
+// replayed jobs the prefix already decided come back as dup acks, and
+// everything after converges to the uninterrupted run's report.
+func Restore(cfg Config, r io.Reader) (*Server, error) {
+	cfg.defaults()
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sr.Section(tagFront)
+	if err != nil {
+		return nil, err
+	}
+	policy := d.Str()
+	machines := int(d.U32())
+	shards := int(d.U32())
+	eps := d.F64()
+	alpha := d.F64()
+	admEps := d.F64()
+	admBurst := d.F64()
+	watermark := d.F64()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if policy != cfg.Policy || machines != cfg.Machines || shards != cfg.Shards ||
+		eps != cfg.Epsilon || alpha != cfg.Alpha {
+		return nil, fmt.Errorf("front: checkpoint taken by %s (m=%d, shards=%d, ε=%v, α=%v), restoring into %s (m=%d, shards=%d, ε=%v, α=%v)",
+			policy, machines, shards, eps, alpha,
+			cfg.Policy, cfg.Machines, cfg.Shards, cfg.Epsilon, cfg.Alpha)
+	}
+	if admEps != cfg.Admission.Epsilon || admBurst != cfg.Admission.Burst {
+		return nil, fmt.Errorf("front: checkpoint ledgers earned under admission ε=%v burst=%v, restoring under ε=%v burst=%v",
+			admEps, admBurst, cfg.Admission.Epsilon, cfg.Admission.Burst)
+	}
+
+	d, err = sr.Section(tagTenants)
+	if err != nil {
+		return nil, err
+	}
+	var tenants []admission.Tenant
+	for n, k := d.Int(), 0; k < n; k++ {
+		t := admission.Tenant{
+			ID:                d.Int(),
+			Fed:               d.Int(),
+			FedWeight:         d.F64(),
+			PreRejected:       d.Int(),
+			PreRejectedWeight: d.F64(),
+			Budget:            d.F64(),
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if t.ID < 0 || t.ID > maxTenant || t.Fed < 0 || t.PreRejected < 0 {
+			d.Failf("tenant ledger %d malformed: %+v", k, t)
+			return nil, d.Err()
+		}
+		if err := admission.BudgetInvariant(cfg.Admission, t, 1e-6); err != nil {
+			d.Failf("tenant ledger %d violates its own budget: %v", k, err)
+			return nil, d.Err()
+		}
+		tenants = append(tenants, t)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+
+	d, err = sr.Section(tagPreRej)
+	if err != nil {
+		return nil, err
+	}
+	var ledger []preReject
+	for n, k := d.Int(), 0; k < n; k++ {
+		pr := preReject{gid: d.Int(), release: d.F64(), weight: d.F64()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if pr.gid < 0 || !(pr.weight > 0) {
+			d.Failf("pre-rejection %d malformed: gid %d weight %v", k, pr.gid, pr.weight)
+			return nil, d.Err()
+		}
+		ledger = append(ledger, pr)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+
+	d, err = sr.Section(tagFleet)
+	if err != nil {
+		return nil, err
+	}
+	fleetBytes := d.Rest()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if err := sr.End(); err != nil {
+		return nil, err
+	}
+
+	sessions := make([]*policySession, shards)
+	got, err := engine.RestoreFleet(bytes.NewReader(fleetBytes), func(k int, r io.Reader) error {
+		ps, err := buildSession(policy, machines, eps, alpha, r)
+		if err != nil {
+			return err
+		}
+		sessions[k] = ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got != shards {
+		return nil, fmt.Errorf("front: checkpoint header declares %d shards, fleet snapshot holds %d", shards, got)
+	}
+
+	s, err := build(cfg, sessions)
+	if err != nil {
+		return nil, err
+	}
+	// build rebuilt watermark and dedupe from the fed jobs; layer the
+	// pre-rejection state back on top.
+	if watermark > s.watermark {
+		s.watermark = watermark
+	}
+	s.preRej = ledger
+	for _, pr := range ledger {
+		s.decided[pr.gid] = struct{}{}
+	}
+	s.preRejN.Store(int64(len(ledger)))
+	for _, t := range tenants {
+		s.adm.RestoreTenant(t)
+	}
+	go s.sequence()
+	return s, nil
+}

@@ -1,0 +1,172 @@
+package front
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Handler serves the front door's wire protocol (documented in
+// internal/chaos/client.go, the protocol's reference client):
+//
+//	POST /v1/feed?tenant=T   stream NDJSON jobs in, NDJSON acks out
+//	POST /v1/drain           drain the server, respond with the final report
+//	GET  /v1/stats           live counters
+//	GET  /healthz            readiness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/feed", s.handleFeed)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError answers a pre-stream failure with a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleFeed is the ingestion endpoint: it parses the tenant's NDJSON
+// stream through the strict reader (duplicate ids and release dips are
+// refused at the frame), pushes jobs into the tenant's merge queue, and
+// streams the sequencer's acks back as they happen. A read deadline is
+// armed before every frame, so a stalled client is cut off instead of
+// wedging the merge; the sequencer separately kills streams whose ack
+// consumer stops reading.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	// One stream, one connection — including refusals. A feed request's body
+	// is already streaming when the handler answers, and handing a conn with
+	// a half-consumed chunked body back to net/http for reuse is a trap: the
+	// post-handler body discard can hit EOF after the server already aborted
+	// its pending reads, spawning a background read that panics the conn's
+	// next-request Peek ("invalid concurrent Body.Read call").
+	w.Header().Set("Connection", "close")
+	tenant, err := strconv.Atoi(r.URL.Query().Get("tenant"))
+	if err != nil || tenant < 0 || tenant > maxTenant {
+		httpError(w, http.StatusBadRequest, "tenant must be an integer in [0, %d], got %q", maxTenant, r.URL.Query().Get("tenant"))
+		return
+	}
+	rc := http.NewResponseController(w)
+	// The feed is full duplex: acks stream out while the body streams in.
+	// Without this, HTTP/1.x servers may concurrently drain the unread body
+	// once the first ack is written, tearing frames out from under the
+	// parser. (HTTP/2 is duplex by nature; an unsupported error is fine.)
+	rc.EnableFullDuplex()
+	rc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	nr, err := trace.NewNDJSONReader(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if nr.Machines() != s.cfg.Machines {
+		httpError(w, http.StatusBadRequest, "stream header declares %d machines, server runs %d", nr.Machines(), s.cfg.Machines)
+		return
+	}
+	nr = nr.Strict()
+	st, err := s.OpenStream(tenant)
+	switch {
+	case errors.Is(err, ErrTenantBusy):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+
+	// The parser goroutine owns the request body (and its read deadline);
+	// this goroutine owns the response. parseErr is read only after
+	// parserDone closes.
+	var parseErr error
+	parserDone := make(chan struct{})
+	go func() {
+		defer close(parserDone)
+		for {
+			rc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+			j, err := nr.Next()
+			if err != nil {
+				switch {
+				case errors.Is(err, io.EOF):
+					st.CloseSend()
+				case st.Err() != nil:
+					// The stream was already killed or drained and the read
+					// below was cut short to unblock this goroutine; the real
+					// error is the stream's, not this read's.
+				default:
+					parseErr = err
+					st.Abort()
+				}
+				return
+			}
+			if err := st.Push(j); err != nil {
+				// Stream killed or server draining; the ack loop reports it.
+				return
+			}
+		}
+	}()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for a := range st.Acks() {
+		enc.Encode(a)
+		if len(st.Acks()) == 0 {
+			bw.Flush()
+			rc.Flush()
+		}
+	}
+	// The acks are done: the stream finished, was killed, or the server is
+	// draining. The parser may still be blocked mid-read on a live body
+	// (killed stream, client still sending) — expire its read and join it
+	// before returning, because net/http reads the connection itself once
+	// the handler returns and a racing Body.Read panics the conn. On the
+	// clean path the parser already exited at EOF; leave the deadline alone.
+	select {
+	case <-parserDone:
+	default:
+		rc.SetReadDeadline(time.Now())
+		<-parserDone
+	}
+	switch {
+	case parseErr != nil:
+		enc.Encode(map[string]string{"error": parseErr.Error()})
+	case st.Err() != nil:
+		enc.Encode(map[string]string{"error": st.Err().Error()})
+	default:
+		enc.Encode(map[string]bool{"done": true})
+	}
+	bw.Flush()
+	rc.Flush()
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Drain()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

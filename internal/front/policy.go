@@ -1,0 +1,138 @@
+package front
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/core/speedscale"
+	"repro/internal/core/srpt"
+	"repro/internal/core/wflow"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// session is what the front door needs of a scheduler session: batched
+// feeding, freezing to a snapshot, the fed-job census for rebuilding the
+// duplicate-suppression ledger, and the depth signals. Every streaming
+// session of internal/core satisfies it.
+type session interface {
+	engine.BatchFeeder
+	Snapshot(w io.Writer) error
+	Fed() int
+	Pending() int
+	EachFed(f func(j *sched.Job))
+}
+
+// policySession pairs a live scheduler session with the policy-specific
+// close, erased to the shared Outcome.
+type policySession struct {
+	session
+	finish func() (*sched.Outcome, error)
+}
+
+// servePolicies names the session-backed policies the front door can host.
+const servePolicies = "flowtime|wflow|speedscale|srpt|wsrpt"
+
+// buildSession constructs (restore == nil) or restores (restore != nil) one
+// shard's scheduler session. Dispatch runs sequentially inside each session:
+// the shard fleet is the parallelism.
+func buildSession(policy string, machines int, eps, alpha float64, restore io.Reader) (*policySession, error) {
+	switch policy {
+	case "flowtime":
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: 1}
+		var s *flowtime.Session
+		var err error
+		if restore != nil {
+			s, err = flowtime.Restore(restore, opt)
+		} else {
+			s, err = flowtime.NewSession(machines, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}}, nil
+	case "wflow":
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: 1}
+		var s *wflow.Session
+		var err error
+		if restore != nil {
+			s, err = wflow.Restore(restore, opt)
+		} else {
+			s, err = wflow.NewSession(machines, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}}, nil
+	case "speedscale":
+		opt := speedscale.Options{Epsilon: eps, Alpha: alpha, ParallelDispatch: 1}
+		var s *speedscale.Session
+		var err error
+		if restore != nil {
+			s, err = speedscale.Restore(restore, opt)
+		} else {
+			s, err = speedscale.NewSession(machines, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}}, nil
+	case "srpt":
+		opt := srpt.Options{ParallelDispatch: 1}
+		var s *srpt.Session
+		var err error
+		if restore != nil {
+			s, err = srpt.Restore(restore, opt)
+		} else {
+			s, err = srpt.NewSession(machines, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}}, nil
+	case "wsrpt":
+		var s *srpt.WeightedSession
+		var err error
+		if restore != nil {
+			s, err = srpt.RestoreWeighted(restore, srpt.WeightedOptions{})
+		} else {
+			s, err = srpt.NewWeightedSession(machines, srpt.WeightedOptions{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+			res, err := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcome, nil
+		}}, nil
+	}
+	return nil, fmt.Errorf("front: policy %q cannot serve (use %s)", policy, servePolicies)
+}

@@ -1,0 +1,777 @@
+// Package front is the overload-hardened network front door of the
+// scheduling engine: a streaming NDJSON ingestion server that multiplexes
+// concurrent tenant connections onto an engine.Shard fleet, with admission
+// control (internal/admission), layered backpressure, idempotent duplicate
+// handling, durable checkpoints, and a graceful drain that ends in a
+// deterministic report.
+//
+// # Determinism under concurrency
+//
+// Jobs from many tenants arrive on independent connections with arbitrary
+// network timing, yet the scheduler fleet must see one release-ordered
+// stream per shard. The front door solves this with a k-way merge: each
+// tenant stream buffers parsed jobs in a bounded queue, and a single
+// sequencer goroutine repeatedly pops the minimum head under the total order
+// (release, tenant, local id) — blocking until every open stream has a head
+// or is closed. A merge of per-tenant sorted streams under a total-order
+// comparator is unique regardless of arrival timing, so the fed sequence —
+// and therefore the final report — is a pure function of the job sets, not
+// of the network. Tenant ids are folded into globally unique job ids
+// (gid = tenant<<32 | local), and engine.RouteByTenant keys shard routing on
+// the tenant bits, keeping each tenant's jobs release-ordered per shard.
+//
+// One tenant gets at most one live stream (a second connection is refused
+// with ErrTenantBusy): per-tenant order then comes from the client, and the
+// per-tenant weight gate cannot deadlock the merge.
+//
+// # Overload behavior
+//
+// Backpressure layers from the inside out: shard slab limits block the
+// sequencer's Feed, the bounded per-stream queues then fill, the parsers
+// stop reading, and TCP pushes back to the client. On top of that the
+// admission controller watches total depth (engine lanes + sequencer
+// queues): Throttle adds a per-job intake delay, Reject sheds jobs at the
+// boundary within each tenant's ε-scaled budget — an explicit pre-rejection
+// recorded in the final report as an ordinary rejection with zero flow, the
+// paper's rejection verb applied before dispatch. Slow ack consumers are
+// killed (their stream aborts) rather than allowed to wedge the sequencer,
+// and the HTTP layer arms a read deadline before every frame.
+//
+// # Faults and resume
+//
+// Duplicate job ids are acknowledged as dups and never re-fed, which makes
+// whole-stream replay (the chaos client's retry strategy) idempotent. A job
+// arriving with a release below the merge watermark — possible only on a
+// mid-run reconnect — is restamped to the watermark, preserving the
+// engine's release-order invariant. Checkpoints (atomic tmp+fsync+rename)
+// embed the fleet snapshot plus the front door's own state (admission
+// ledgers, pre-rejection ledger, watermark); a server restored from a
+// checkpoint and re-fed the same streams converges to the exact report of
+// an uninterrupted run.
+package front
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Policy   string  // flowtime|wflow|speedscale|srpt|wsrpt
+	Epsilon  float64 // scheduler rejection parameter ε
+	Alpha    float64 // power exponent (speedscale)
+	Machines int     // machines per shard session
+	Shards   int     // scheduler shard count (default 1)
+
+	Admission admission.Config // overload policy
+
+	QueueDepth    int           // per-stream sequencer queue, jobs (default 256)
+	AwaitTenants  int           // sequencer start barrier: wait for this many live streams (0: none)
+	ReadTimeout   time.Duration // per-frame read deadline on feed connections (default 30s)
+	ThrottleDelay time.Duration // per-job intake delay in the Throttle state (default 1ms, <0 disables)
+	AckTimeout    time.Duration // grace window for a full ack channel before the stream is killed (default 250ms, <0 kills instantly)
+
+	CheckpointPath  string // durable snapshot path ("" disables checkpointing)
+	CheckpointEvery int    // fed jobs between periodic checkpoints (0: final only)
+
+	Stall chaos.Stall // fault injection: stall every shard feeder on this schedule
+}
+
+// maxTenant and maxLocalID bound the gid packing (gid = tenant<<32 | local).
+const (
+	maxTenant  = 1<<31 - 1
+	maxLocalID = 1<<32 - 1
+)
+
+func (c *Config) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.ThrottleDelay == 0 {
+		c.ThrottleDelay = time.Millisecond
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 250 * time.Millisecond
+	}
+}
+
+// Errors of the stream lifecycle.
+var (
+	ErrDraining     = errors.New("front: server is draining")
+	ErrTenantBusy   = errors.New("front: tenant already has a live stream")
+	ErrStreamKilled = errors.New("front: stream killed: ack consumer too slow")
+)
+
+// Ack is the per-job verdict delivered on a stream's ack channel. St is one
+// of chaos.AckOK, chaos.AckRej, chaos.AckDup.
+type Ack struct {
+	ID int    `json:"id"`
+	St string `json:"st"`
+}
+
+// preReject is one ledger entry of a job shed at the boundary: enough to
+// account it as a zero-flow rejection in the report and to suppress a
+// replayed duplicate after a restore.
+type preReject struct {
+	gid     int
+	release float64
+	weight  float64
+}
+
+// Server is the front door. Construct with New or Restore; serve over HTTP
+// via Handler or in process via OpenStream; shut down with Drain.
+type Server struct {
+	cfg   Config
+	route engine.RouteFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	streams  map[int]*Stream
+	queued   int // jobs buffered across all stream queues
+	await    int // sequencer start barrier countdown
+	draining bool
+	report   *Report
+	repErr   error
+	drained  chan struct{}
+
+	// Sequencer-owned state (single goroutine; read by others only after
+	// the drained barrier).
+	fleet     *engine.Shard
+	sessions  []*policySession
+	adm       *admission.Controller
+	decided   map[int]struct{} // gid of every acked verdict (fed or pre-rejected)
+	preRej    []preReject
+	watermark float64
+	sinceCkpt int
+
+	// Live counters for Stats (timing-dependent; never in the report).
+	fedN      atomic.Int64
+	preRejN   atomic.Int64
+	dupN      atomic.Int64
+	restampN  atomic.Int64
+	overflowN atomic.Int64
+	ckptN     atomic.Int64
+	ckptErrN  atomic.Int64
+	lastState atomic.Int32
+}
+
+// New builds a fresh server fleet and starts its sequencer.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s, err := build(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	go s.sequence()
+	return s, nil
+}
+
+// build assembles the server around pre-restored sessions (nil for fresh).
+// The caller starts the sequencer once any restore-time state is in place.
+func build(cfg Config, restored []*policySession) (*Server, error) {
+	adm, err := admission.New(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	sessions := restored
+	if sessions == nil {
+		sessions = make([]*policySession, cfg.Shards)
+		for k := range sessions {
+			sessions[k], err = buildSession(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, nil)
+			if err != nil {
+				for _, s := range sessions[:k] {
+					s.finish()
+				}
+				return nil, err
+			}
+		}
+	}
+	feeders := make([]engine.Feeder, len(sessions))
+	for k := range sessions {
+		if cfg.Stall.Enabled() {
+			feeders[k] = chaos.NewStallFeeder(sessions[k], cfg.Stall)
+		} else {
+			feeders[k] = sessions[k]
+		}
+	}
+	route := engine.RouteByTenant(func(j *sched.Job) int { return j.ID >> 32 })
+	s := &Server{
+		cfg:      cfg,
+		route:    route,
+		streams:  make(map[int]*Stream),
+		await:    cfg.AwaitTenants,
+		fleet:    engine.NewShardOpts(feeders, engine.ShardOptions{Route: route}),
+		sessions: sessions,
+		adm:      adm,
+		decided:  make(map[int]struct{}),
+		drained:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, ps := range sessions {
+		ps.EachFed(func(j *sched.Job) {
+			s.decided[j.ID] = struct{}{}
+			if j.Release > s.watermark {
+				s.watermark = j.Release
+			}
+		})
+	}
+	s.fedN.Store(int64(len(s.decided)))
+	return s, nil
+}
+
+// Stream is one tenant's live feed: a bounded job queue into the sequencer
+// and an ack channel back out. Push and the ack consumer must run
+// concurrently — a consumer that stops draining Acks while jobs flow gets
+// the stream killed (ErrStreamKilled), the slow-client defense.
+type Stream struct {
+	srv     *Server
+	tenant  int
+	buf     []sched.Job
+	head    int
+	queuedW float64
+	closed  bool // send side closed (CloseSend, Abort, kill, or drain)
+	err     error
+	acks    chan Ack
+}
+
+// OpenStream registers a live stream for the tenant. One stream per tenant:
+// a second open while the first is live returns ErrTenantBusy.
+func (s *Server) OpenStream(tenant int) (*Stream, error) {
+	if tenant < 0 || tenant > maxTenant {
+		return nil, fmt.Errorf("front: tenant %d out of range [0, %d]", tenant, maxTenant)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if _, busy := s.streams[tenant]; busy {
+		return nil, ErrTenantBusy
+	}
+	st := &Stream{srv: s, tenant: tenant, acks: make(chan Ack, 2*s.cfg.QueueDepth)}
+	s.streams[tenant] = st
+	s.cond.Broadcast()
+	return st, nil
+}
+
+func (st *Stream) size() int { return len(st.buf) - st.head }
+
+func (st *Stream) peek() *sched.Job { return &st.buf[st.head] }
+
+func (st *Stream) pop() sched.Job {
+	j := st.buf[st.head]
+	st.buf[st.head] = sched.Job{}
+	st.head++
+	st.queuedW -= j.Weight
+	if st.head == len(st.buf) {
+		st.buf, st.head = st.buf[:0], 0
+	}
+	return j
+}
+
+// Push queues one job (tenant-local id, normalized weight). It blocks while
+// the stream's queue is full or the tenant's queued weight exceeds the
+// admission cap — the front door's per-tenant backpressure — and fails once
+// the stream is closed, killed, or the server drains.
+func (st *Stream) Push(j sched.Job) error {
+	if j.ID < 0 || j.ID > maxLocalID {
+		return fmt.Errorf("front: job id %d out of range [0, %d]", j.ID, maxLocalID)
+	}
+	if j.Weight == 0 {
+		j.Weight = 1
+	}
+	s := st.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if st.closed {
+			if st.err != nil {
+				return st.err
+			}
+			return ErrDraining
+		}
+		capW := s.cfg.Admission.MaxQueuedWeight
+		if st.size() < s.cfg.QueueDepth && (capW <= 0 || st.size() == 0 || st.queuedW+j.Weight <= capW) {
+			break
+		}
+		s.cond.Wait()
+	}
+	st.buf = append(st.buf, j)
+	st.queuedW += j.Weight
+	s.queued++
+	s.cond.Broadcast()
+	return nil
+}
+
+// CloseSend marks the end of the stream's input; queued jobs still drain and
+// the ack channel closes after the last verdict.
+func (st *Stream) CloseSend() {
+	s := st.srv
+	s.mu.Lock()
+	st.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Abort closes the stream discarding its queued (unfed, unacked) jobs — the
+// path taken when the connection's parse fails or times out. Jobs already
+// popped by the sequencer keep their verdicts.
+func (st *Stream) Abort() {
+	s := st.srv
+	s.mu.Lock()
+	st.abortLocked(nil)
+	s.mu.Unlock()
+}
+
+// abortLocked closes the stream, discards its queue, and records err (kept
+// nil-last: an earlier error wins).
+func (st *Stream) abortLocked(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	st.closed = true
+	st.srv.queued -= st.size()
+	st.buf, st.head, st.queuedW = nil, 0, 0
+	st.srv.cond.Broadcast()
+}
+
+// Acks returns the verdict channel. It closes after the stream's last job
+// is decided (or the stream aborts); read Err afterwards.
+func (st *Stream) Acks() <-chan Ack { return st.acks }
+
+// Err reports why the stream ended, valid once Acks has closed: nil for a
+// clean end, ErrStreamKilled for a slow ack consumer, ErrDraining when the
+// server shut the stream down.
+func (st *Stream) Err() error {
+	s := st.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.err
+}
+
+// ack delivers a verdict without letting one dead consumer wedge the
+// sequencer forever. The fast path is a non-blocking send; a full channel
+// gets AckTimeout of grace — the sequencer can burst acks (a pre-rejection
+// spree feeds nothing between verdicts) far faster than a momentarily
+// descheduled consumer drains them, and an instant kill would discard that
+// consumer's queued jobs over a scheduling hiccup. Only a consumer that
+// stays wedged past the window is ruled dead: its stream aborts, and the
+// sequencer's worst-case stall is one window per killed stream.
+func (st *Stream) ack(a Ack) {
+	select {
+	case st.acks <- a:
+		return
+	default:
+	}
+	if st.srv.cfg.AckTimeout > 0 {
+		t := time.NewTimer(st.srv.cfg.AckTimeout)
+		defer t.Stop()
+		select {
+		case st.acks <- a:
+			return
+		case <-t.C:
+		}
+	}
+	st.srv.overflowN.Add(1)
+	s := st.srv
+	s.mu.Lock()
+	st.abortLocked(ErrStreamKilled)
+	s.mu.Unlock()
+}
+
+// headLess orders two stream heads under the merge's total order:
+// (release, tenant). Local ids never tie-break — tenants are unique map
+// keys and one tenant's releases arrive pre-sorted.
+func headLess(a, b *Stream) bool {
+	ra, rb := a.peek().Release, b.peek().Release
+	if ra != rb {
+		return ra < rb
+	}
+	return a.tenant < b.tenant
+}
+
+// sequence is the merge loop: one goroutine owns the fleet, the admission
+// controller and every piece of verdict state, popping the minimum head
+// whenever all open streams have one.
+func (s *Server) sequence() {
+	for {
+		s.mu.Lock()
+		var st *Stream
+		for {
+			// Reap streams whose send side closed and queue drained; their
+			// ack channels close here, after the last verdict.
+			for t, c := range s.streams {
+				if c.closed && c.size() == 0 {
+					delete(s.streams, t)
+					close(c.acks)
+				}
+			}
+			if s.draining && len(s.streams) == 0 {
+				s.mu.Unlock()
+				s.shutdown()
+				return
+			}
+			if s.await > 0 && !s.draining {
+				// Start barrier: merging begins only once the configured
+				// number of tenants is connected, so the first pop already
+				// sees every head (deterministic multiplexing from job one).
+				if len(s.streams) < s.await {
+					s.cond.Wait()
+					continue
+				}
+				s.await = 0
+			}
+			if len(s.streams) > 0 {
+				ready := true
+				for _, c := range s.streams {
+					if c.size() == 0 {
+						if !c.closed {
+							ready = false // an open stream owes a head: wait
+						}
+						continue
+					}
+					if ready && (st == nil || headLess(c, st)) {
+						st = c
+					}
+				}
+				if !ready {
+					st = nil
+				}
+			}
+			if st != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		j := st.pop()
+		s.queued--
+		queued := s.queued
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.process(st, j, queued)
+	}
+}
+
+// process rules on one merged job: dedupe, restamp, admission, feed, ack —
+// then the throttle delay and the checkpoint cadence.
+func (s *Server) process(st *Stream, j sched.Job, queued int) {
+	gid := st.tenant<<32 | j.ID
+	if _, dup := s.decided[gid]; dup {
+		s.dupN.Add(1)
+		st.ack(Ack{ID: j.ID, St: chaos.AckDup})
+		return
+	}
+	if j.Release < s.watermark {
+		// Only possible on a mid-run reconnect: the merge had already
+		// advanced past this release. Restamp to the watermark so the
+		// engine's release-order invariant holds.
+		j.Release = s.watermark
+		s.restampN.Add(1)
+	}
+	state := s.adm.Observe(s.fleet.DepthTotal() + queued)
+	s.lastState.Store(int32(state))
+	if s.adm.Decide(st.tenant, j.Weight) == admission.PreReject {
+		s.decided[gid] = struct{}{}
+		s.preRej = append(s.preRej, preReject{gid: gid, release: j.Release, weight: j.Weight})
+		s.preRejN.Add(1)
+		st.ack(Ack{ID: j.ID, St: chaos.AckRej})
+		return
+	}
+	local := j.ID
+	j.ID = gid
+	if err := s.fleet.Feed(j); err != nil {
+		// A feed error poisons the lane; surface it on this stream and let
+		// the drainer collect the authoritative error from the fleet.
+		s.mu.Lock()
+		st.abortLocked(fmt.Errorf("front: feeding shard fleet: %w", err))
+		s.mu.Unlock()
+		return
+	}
+	s.decided[gid] = struct{}{}
+	if j.Release > s.watermark {
+		s.watermark = j.Release
+	}
+	s.fedN.Add(1)
+	st.ack(Ack{ID: local, St: chaos.AckOK})
+	if state == admission.Throttle && s.cfg.ThrottleDelay > 0 {
+		time.Sleep(s.cfg.ThrottleDelay)
+	}
+	if s.cfg.CheckpointPath != "" && s.cfg.CheckpointEvery > 0 {
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.cfg.CheckpointEvery {
+			s.sinceCkpt = 0
+			if err := s.writeCheckpoint(); err != nil {
+				s.ckptErrN.Add(1)
+			} else {
+				s.ckptN.Add(1)
+			}
+		}
+	}
+}
+
+// Drain shuts the front door down: new streams are refused, live streams
+// are aborted (their clients see ErrDraining), the sequencer finishes its
+// queue, the fleet quiesces, a final checkpoint is written when configured,
+// every session closes, and the deterministic report is assembled. Safe to
+// call more than once; every call returns the same report.
+func (s *Server) Drain() (*Report, error) {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, c := range s.streams {
+			c.abortLocked(ErrDraining)
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.drained
+	return s.report, s.repErr
+}
+
+// shutdown runs on the sequencer goroutine after the last stream is reaped.
+func (s *Server) shutdown() {
+	rep, err := s.buildReport()
+	s.mu.Lock()
+	s.report, s.repErr = rep, err
+	s.mu.Unlock()
+	close(s.drained)
+}
+
+// jobFact is the per-job footprint needed to turn outcome times into flows.
+type jobFact struct {
+	release float64
+	weight  float64
+}
+
+// buildReport freezes the fleet (final checkpoint when configured), closes
+// every session, and folds the outcomes and admission ledgers into the
+// deterministic report. All floating-point accumulation runs in sorted gid
+// order, so the same decided job set always produces the same bytes.
+func (s *Server) buildReport() (*Report, error) {
+	if s.cfg.CheckpointPath != "" {
+		if err := s.writeCheckpoint(); err != nil {
+			return nil, err
+		}
+		s.ckptN.Add(1)
+	} else if err := s.fleet.Quiesce(); err != nil {
+		return nil, err
+	}
+	facts := make(map[int]jobFact, len(s.decided))
+	for _, ps := range s.sessions {
+		ps.EachFed(func(j *sched.Job) {
+			facts[j.ID] = jobFact{release: j.Release, weight: j.Weight}
+		})
+	}
+	if err := s.fleet.Wait(); err != nil {
+		return nil, err
+	}
+
+	type verdict struct {
+		gid      int
+		t        float64
+		rejected bool
+	}
+	rows := make([]verdict, 0, len(facts))
+	var makespan float64
+	for _, ps := range s.sessions {
+		out, err := ps.finish()
+		if err != nil {
+			return nil, err
+		}
+		for gid, t := range out.Completed {
+			rows = append(rows, verdict{gid: gid, t: t})
+		}
+		for gid, t := range out.Rejected {
+			rows = append(rows, verdict{gid: gid, t: t, rejected: true})
+		}
+		for k := range out.Intervals {
+			if end := out.Intervals[k].End; end > makespan {
+				makespan = end
+			}
+		}
+	}
+	slices.SortFunc(rows, func(a, b verdict) int { return a.gid - b.gid })
+
+	rep := &Report{
+		Policy:           s.cfg.Policy,
+		Machines:         s.cfg.Machines,
+		Shards:           s.cfg.Shards,
+		Epsilon:          s.cfg.Epsilon,
+		AdmissionEpsilon: s.cfg.Admission.Epsilon,
+		AdmissionBurst:   s.cfg.Admission.Burst,
+		Makespan:         makespan,
+	}
+	tens := make(map[int]*TenantReport)
+	order := make([]int, 0, 8)
+	for _, t := range s.adm.Tenants() {
+		tens[t.ID] = &TenantReport{
+			ID:                t.ID,
+			Fed:               t.Fed,
+			FedWeight:         t.FedWeight,
+			PreRejected:       t.PreRejected,
+			PreRejectedWeight: t.PreRejectedWeight,
+			RejectedWeight:    t.PreRejectedWeight,
+		}
+		order = append(order, t.ID)
+		rep.Fed += t.Fed
+		rep.PreRejected += t.PreRejected
+		rep.RejectedWeight += t.PreRejectedWeight
+	}
+	for _, v := range rows {
+		f, ok := facts[v.gid]
+		if !ok {
+			return nil, fmt.Errorf("front: outcome holds job %d the front door never fed", v.gid)
+		}
+		tr := tens[v.gid>>32]
+		if tr == nil {
+			return nil, fmt.Errorf("front: job %d belongs to tenant %d with no admission ledger", v.gid, v.gid>>32)
+		}
+		flow := v.t - f.release
+		rep.TotalFlow += flow
+		rep.WeightedFlow += f.weight * flow
+		tr.WeightedFlow += f.weight * flow
+		if flow > rep.MaxFlow {
+			rep.MaxFlow = flow
+		}
+		if v.rejected {
+			rep.Rejected++
+			rep.RejectedWeight += f.weight
+			tr.Rejected++
+			tr.RejectedWeight += f.weight
+		} else {
+			rep.Completed++
+			tr.Completed++
+		}
+	}
+	if rep.Completed+rep.Rejected != rep.Fed {
+		return nil, fmt.Errorf("front: %d jobs fed but %d completed + %d rejected — the fleet dropped jobs",
+			rep.Fed, rep.Completed, rep.Rejected)
+	}
+	slices.Sort(order)
+	rep.Tenants = make([]TenantReport, 0, len(order))
+	for _, id := range order {
+		rep.Tenants = append(rep.Tenants, *tens[id])
+	}
+	return rep, nil
+}
+
+// writeCheckpoint freezes the whole front door into CheckpointPath
+// atomically: temp file, fsync, rename — a SIGKILL at any instant leaves
+// either the previous checkpoint or the new one, never a torn file.
+func (s *Server) writeCheckpoint() error {
+	path := s.cfg.CheckpointPath
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.snapshotTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("front: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Stats is the live counter set served by /v1/stats. Everything here is
+// timing-dependent (dups, restamps, overflow kills, checkpoint count) or
+// instantaneous (state, depth) — none of it appears in the report.
+type Stats struct {
+	State        string `json:"state"`
+	Depth        int    `json:"depth"`
+	Queued       int    `json:"queued"`
+	Streams      int    `json:"streams"`
+	Draining     bool   `json:"draining"`
+	Fed          int64  `json:"fed"`
+	PreRejected  int64  `json:"pre_rejected"`
+	Dup          int64  `json:"dup"`
+	Restamped    int64  `json:"restamped"`
+	AckOverflows int64  `json:"ack_overflows"`
+	Checkpoints  int64  `json:"checkpoints"`
+	CkptErrors   int64  `json:"checkpoint_errors"`
+}
+
+// Stats samples the live counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	queued, streams, draining := s.queued, len(s.streams), s.draining
+	s.mu.Unlock()
+	return Stats{
+		State:        admission.State(s.lastState.Load()).String(),
+		Depth:        s.fleet.DepthTotal() + queued,
+		Queued:       queued,
+		Streams:      streams,
+		Draining:     draining,
+		Fed:          s.fedN.Load(),
+		PreRejected:  s.preRejN.Load(),
+		Dup:          s.dupN.Load(),
+		Restamped:    s.restampN.Load(),
+		AckOverflows: s.overflowN.Load(),
+		Checkpoints:  s.ckptN.Load(),
+		CkptErrors:   s.ckptErrN.Load(),
+	}
+}
+
+// Report is the deterministic product of a drained server: the merged
+// scheduling outcome plus the admission ledgers, sorted by tenant. Two runs
+// that decide the same job set produce byte-identical reports — timing
+// artifacts (dup acks, restamps, retries, latency) are deliberately
+// excluded; they live in Stats.
+type Report struct {
+	Policy           string  `json:"policy"`
+	Machines         int     `json:"machines"`
+	Shards           int     `json:"shards"`
+	Epsilon          float64 `json:"epsilon"`
+	AdmissionEpsilon float64 `json:"admission_epsilon"`
+	AdmissionBurst   float64 `json:"admission_burst"` // with ε, lets an external auditor re-check the budget invariant
+
+	Fed            int     `json:"fed"`
+	PreRejected    int     `json:"pre_rejected"`
+	Completed      int     `json:"completed"`
+	Rejected       int     `json:"rejected"` // scheduler rejections (pre-rejections counted separately)
+	RejectedWeight float64 `json:"rejected_weight"`
+	TotalFlow      float64 `json:"total_flow"`
+	WeightedFlow   float64 `json:"weighted_flow"`
+	MaxFlow        float64 `json:"max_flow"`
+	Makespan       float64 `json:"makespan"`
+
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// TenantReport is one tenant's slice of the report.
+type TenantReport struct {
+	ID                int     `json:"id"`
+	Fed               int     `json:"fed"`
+	FedWeight         float64 `json:"fed_weight"`
+	PreRejected       int     `json:"pre_rejected"`
+	PreRejectedWeight float64 `json:"pre_rejected_weight"`
+	Completed         int     `json:"completed"`
+	Rejected          int     `json:"rejected"`
+	RejectedWeight    float64 `json:"rejected_weight"`
+	WeightedFlow      float64 `json:"weighted_flow"`
+}

@@ -40,14 +40,19 @@ const maxNDJSONLine = 16 << 20
 // matching positive finite processing times, defaulted weight, sane release
 // and deadline — and enforces non-decreasing releases (within sched.Eps,
 // the instance tolerance), so a well-typed stream can be fed straight into
-// a scheduler session. Duplicate-id detection is left to the session,
-// which tracks ids anyway; the reader itself holds O(1) state.
+// a scheduler session. By default duplicate-id detection is left to the
+// session, which tracks ids anyway, and releases may dip below the watermark
+// by sched.Eps (the instance tolerance) — the reader itself holds O(1)
+// state. Strict mode (see Strict) hardens both checks at the reader, so a
+// hostile or corrupted stream is refused with a positioned error before any
+// job of it reaches a session.
 type NDJSONReader struct {
 	sc       *bufio.Scanner
 	machines int
 	alpha    float64
 	last     float64 // latest release seen
 	line     int     // current physical line, for error messages
+	seen     map[int]int // strict mode: job id -> first line, nil otherwise
 }
 
 // NewNDJSONReader parses the header line and returns a streaming reader.
@@ -85,6 +90,21 @@ func (r *NDJSONReader) Machines() int { return r.machines }
 // flow-time traces).
 func (r *NDJSONReader) Alpha() float64 { return r.alpha }
 
+// Strict hardens the reader for hostile inputs (a network front door
+// ingesting untrusted tenant streams): duplicate job ids are rejected at the
+// line that repeats them (reporting the line of the first occurrence), and
+// releases must be truly non-decreasing — the sched.Eps dip the lenient mode
+// tolerates is refused too. Both failures surface as positioned, permanent
+// errors from Next before the offending job is returned, so no partially
+// validated job ever reaches a session. Strict mode keeps O(jobs) id state;
+// enable it before the first Next call.
+func (r *NDJSONReader) Strict() *NDJSONReader {
+	if r.seen == nil {
+		r.seen = make(map[int]int)
+	}
+	return r
+}
+
 // Next returns the next job of the trace, or io.EOF at the end of the
 // stream. Any other error is positioned (line number) and permanent.
 func (r *NDJSONReader) Next() (sched.Job, error) {
@@ -107,6 +127,15 @@ func (r *NDJSONReader) Next() (sched.Job, error) {
 		}
 		if err := sched.ValidateJob(&j, r.machines, r.last); err != nil {
 			return sched.Job{}, fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
+		}
+		if r.seen != nil {
+			if first, dup := r.seen[j.ID]; dup {
+				return sched.Job{}, fmt.Errorf("trace: ndjson line %d: duplicate job id %d (first seen on line %d)", r.line, j.ID, first)
+			}
+			if j.Release < r.last {
+				return sched.Job{}, fmt.Errorf("trace: ndjson line %d: job %d released at %v after the stream reached %v (strict mode requires non-decreasing releases)", r.line, j.ID, j.Release, r.last)
+			}
+			r.seen[j.ID] = r.line
 		}
 		if j.Release > r.last {
 			r.last = j.Release

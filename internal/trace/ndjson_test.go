@@ -200,3 +200,67 @@ func TestNDJSONOutOfOrderPositioned(t *testing.T) {
 		t.Fatalf("err = %v, want line 4 position", err)
 	}
 }
+
+// TestNDJSONStrictMode pins the hardened reader: duplicate job ids and
+// sub-Eps release regressions — both legal (or deferred to the session) in
+// lenient mode — are refused with positioned errors naming the offending
+// line, before the bad job is returned.
+func TestNDJSONStrictMode(t *testing.T) {
+	const dupTrace = `{"machines":2}
+{"id":0,"release":0,"proc":[1,2]}
+{"id":1,"release":1,"proc":[1,2]}
+{"id":0,"release":2,"proc":[1,2]}
+`
+	// Lenient: the duplicate passes the reader (sessions catch it later).
+	r, err := NewNDJSONReader(strings.NewReader(dupTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("lenient reader job %d: %v", i, err)
+		}
+	}
+	// Strict: refused at line 4, naming line 2.
+	r, err = NewNDJSONReader(strings.NewReader(dupTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Strict()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("strict reader job %d: %v", i, err)
+		}
+	}
+	_, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "duplicate job id 0") || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("strict duplicate error = %v, want positioned duplicate-id error", err)
+	}
+
+	// A release dip within sched.Eps: lenient tolerates, strict refuses.
+	const dipTrace = `{"machines":1}
+{"id":0,"release":1,"proc":[1]}
+{"id":1,"release":0.99999999,"proc":[1]}
+`
+	r, err = NewNDJSONReader(strings.NewReader(dipTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("lenient reader tolerates an Eps dip, got %v", err)
+		}
+	}
+	r, err = NewNDJSONReader(strings.NewReader(dipTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Strict()
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "non-decreasing") {
+		t.Fatalf("strict regression error = %v, want positioned order error", err)
+	}
+}
