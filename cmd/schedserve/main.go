@@ -52,6 +52,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0, "power exponent (speedscale)")
 		machines = flag.Int("machines", 8, "machines per shard session")
 		shards   = flag.Int("shards", 1, "scheduler shard count")
+		sizeHint = flag.Int("size-hint", 0, "expected total jobs across all streams (preallocation hint, 0 grows on demand)")
 
 		throttleDepth = flag.Int("throttle-depth", 0, "depth watermark: accept → throttle (0 disables)")
 		rejectDepth   = flag.Int("reject-depth", 0, "depth watermark: throttle → pre-reject (0 disables)")
@@ -80,6 +81,7 @@ func main() {
 		Alpha:    *alpha,
 		Machines: *machines,
 		Shards:   *shards,
+		SizeHint: *sizeHint,
 		Admission: admission.Config{
 			ThrottleDepth:   *throttleDepth,
 			RejectDepth:     *rejectDepth,

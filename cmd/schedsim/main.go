@@ -314,7 +314,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 	)
 	switch policy {
 	case "flowtime":
-		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: parallel}
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs()}
 		var s *flowtime.Session
 		var err error
 		if resumeFrom != nil {
@@ -334,7 +334,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "wflow":
-		opt := wflow.Options{Epsilon: eps, ParallelDispatch: parallel}
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs()}
 		var s *wflow.Session
 		var err error
 		if resumeFrom != nil {
@@ -358,7 +358,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		if a == 0 {
 			a = r.Alpha()
 		}
-		opt := speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel}
+		opt := speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel, SizeHint: r.Jobs()}
 		var s *speedscale.Session
 		var err error
 		if resumeFrom != nil {
@@ -378,7 +378,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "srpt":
-		opt := srpt.Options{ParallelDispatch: parallel}
+		opt := srpt.Options{ParallelDispatch: parallel, SizeHint: r.Jobs()}
 		var s *srpt.Session
 		var err error
 		if resumeFrom != nil {
@@ -403,7 +403,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		if resumeFrom != nil {
 			s, err = srpt.RestoreWeighted(resumeFrom, srpt.WeightedOptions{})
 		} else {
-			s, err = srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{})
+			s, err = srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{SizeHint: r.Jobs()})
 		}
 		if err != nil {
 			fatal(err)

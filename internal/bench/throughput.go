@@ -26,6 +26,12 @@ func init() {
 		Claim: "perf: batching the ingestion path (slab handoff + FeedBatch + bulk event push) multiplies jobs/sec over E14 with bit-identical outcomes",
 		Run:   runE16,
 	})
+	register(Experiment{
+		ID: "E18", Kind: "table",
+		Title: "Compute floor: dense outcomes + flat rank index + size hints on the batched shard path",
+		Claim: "perf: recording outcomes densely, replacing the pending treap with a cache-resident flat index, and presizing from stream hints lifts batched fleet throughput with bit-identical outcomes",
+		Run:   runE18,
+	})
 }
 
 // throughputWorkload is the shared E14/E16 instance, so the two experiments
@@ -46,7 +52,7 @@ const throughputTrials = 5
 
 // bestShardRun repeats shardRun and keeps the fastest trial (outcomes are
 // bit-identical across trials, so only the clock varies).
-func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.ShardOptions) (time.Duration, []*sched.Outcome, float64, error) {
+func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int) (time.Duration, []*sched.Outcome, float64, error) {
 	trials := throughputTrials
 	if cfg.Quick {
 		trials = 2
@@ -57,7 +63,7 @@ func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.Sha
 		bestAllocs float64
 	)
 	for trial := 0; trial < trials; trial++ {
-		el, outs, allocs, err := shardRun(ins, m, shards, opt)
+		el, outs, allocs, err := shardRun(ins, m, shards, opt, sizeHint)
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -71,12 +77,14 @@ func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.Sha
 // shardRun pushes the instance through K flowtime sessions behind an
 // engine.Shard configured by opt, returning the wall time and the per-shard
 // outcomes (shard k's outcome at index k). Every fed job must come back
-// completed or rejected.
-func shardRun(ins *sched.Instance, m, shards int, opt engine.ShardOptions) (time.Duration, []*sched.Outcome, float64, error) {
+// completed or rejected. sizeHint is the per-shard preallocation hint passed
+// to every session (0 preserves the historical grow-on-demand measurement;
+// E18 passes engine.PerShardHint).
+func shardRun(ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int) (time.Duration, []*sched.Outcome, float64, error) {
 	sessions := make([]*flowtime.Session, shards)
 	feeders := make([]engine.Feeder, shards)
 	for k := range sessions {
-		s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2})
+		s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2, SizeHint: sizeHint})
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -131,7 +139,7 @@ func runE14(cfg Config) (fmt.Stringer, error) {
 		// MaxBatch 1 pins the historical per-job semantics — one slab
 		// handoff (and worker wakeup) per job — and Slabs 256 restores the
 		// 256-job producer runahead the pre-slab channel buffer gave it.
-		el, _, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256})
+		el, _, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0)
 		if err != nil {
 			return nil, fmt.Errorf("E14: %w", err)
 		}
@@ -162,11 +170,11 @@ func runE16(cfg Config) (fmt.Stringer, error) {
 		"shards", "wall ms", "jobs/sec", "×E14", "allocs/job", "fleet mean flow", "same")
 	var scratch sched.Scratch
 	for _, shards := range []int{1, 2, 4, 8} {
-		perJobEl, perJobOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256})
+		perJobEl, perJobOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0)
 		if err != nil {
 			return nil, fmt.Errorf("E16: per-job reference: %w", err)
 		}
-		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{})
+		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0)
 		if err != nil {
 			return nil, fmt.Errorf("E16: %w", err)
 		}
@@ -212,6 +220,44 @@ func runE16(cfg Config) (fmt.Stringer, error) {
 		t.AddRowf(shards, float64(el.Microseconds())/1000, jobsPerSec,
 			jobsPerSec/perJobRate, allocs/float64(n), fleet.MeanFlow,
 			okMark(identical))
+	}
+	return t, nil
+}
+
+// runE18 measures the compute-floor work on the batched shard path of E16:
+// sessions record outcomes densely (flat state/when/machine arrays instead
+// of per-job map inserts), keep their pending jobs in the cache-resident
+// ostree.Flat index instead of the pointer-chasing treap, and — in the
+// hinted rows — preallocate per-job storage from engine.PerShardHint before
+// the first job arrives. The unhinted rows already carry the first two
+// changes (they are unconditional), so the ×unhint column isolates what the
+// size hint alone buys; the jobs/sec column against E16's history shows the
+// full stack. Session construction, hinted or not, sits outside the timed
+// window in all three throughput experiments, so rows compare like for like;
+// hints move hot-path growth allocations into that untimed setup, which is
+// exactly their job. Outcomes must be bit-identical between hinted and
+// unhinted runs at every shard count — hints are advisory capacity, never
+// behavior.
+func runE18(cfg Config) (fmt.Stringer, error) {
+	ins, m := throughputWorkload(cfg)
+	n := len(ins.Jobs)
+
+	t := stats.NewTable(fmt.Sprintf("E18 — compute floor on the batched shard path (n=%d, m=%d per shard, slab=256, ε=0.2)", n, m),
+		"shards", "wall ms", "jobs/sec", "×unhint", "allocs/job", "same")
+	for _, shards := range []int{1, 2, 4, 8} {
+		plainEl, plainOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("E18: unhinted reference: %w", err)
+		}
+		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, engine.PerShardHint(n, shards))
+		if err != nil {
+			return nil, fmt.Errorf("E18: %w", err)
+		}
+		identical := reflect.DeepEqual(outs, plainOuts)
+		jobsPerSec := float64(n) / el.Seconds()
+		plainRate := float64(n) / plainEl.Seconds()
+		t.AddRowf(shards, float64(el.Microseconds())/1000, jobsPerSec,
+			jobsPerSec/plainRate, allocs/float64(n), okMark(identical))
 	}
 	return t, nil
 }

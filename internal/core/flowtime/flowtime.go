@@ -61,6 +61,11 @@ type Options struct {
 	// dispatch.DefaultThreshold machines), 1 forces sequential. The choice
 	// never changes the output (see internal/dispatch).
 	ParallelDispatch int
+	// SizeHint preallocates per-job storage for a stream of about this many
+	// jobs (see engine.Options.SizeHint). Zero is valid — storage grows on
+	// demand — and the hint never changes outcomes. Batch Run overrides it
+	// with the instance's exact job count.
+	SizeHint int
 }
 
 func (o Options) validate() error {
@@ -95,7 +100,7 @@ type Result struct {
 
 // machine is the per-machine policy state (the engine owns the run state).
 type machine struct {
-	pending *ostree.Tree // dispatched, not yet started (U_i \ {running})
+	pending *ostree.Flat // dispatched, not yet started (U_i \ {running})
 
 	runVictims int // Rule 1 counter v_k for the running job
 	counter    int // Rule 2 counter c_i
@@ -171,7 +176,7 @@ func newPolicy(opt Options, machines, hint int) *policy {
 	}
 	p.mach = make([]machine, machines)
 	for i := range p.mach {
-		p.mach[i] = machine{pending: ostree.New(uint64(0x51ed2701) + uint64(i)*0x9e37)}
+		p.mach[i] = machine{pending: ostree.NewFlat()}
 	}
 	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
 	p.evalFn = p.evalCur

@@ -17,14 +17,19 @@ type Session struct {
 	p  *policy
 }
 
-// NewSession starts a streaming run on the given number of machines.
+// NewSession starts a streaming run on the given number of machines,
+// preallocating per-job storage when Options.SizeHint announces the
+// expected stream size.
 func NewSession(machines int, opt Options) (*Session, error) {
-	return newSession(machines, opt, 0)
+	return newSession(machines, opt, opt.SizeHint)
 }
 
 func newSession(machines int, opt Options, hint int) (*Session, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if hint < 0 {
+		hint = 0
 	}
 	if machines <= 0 {
 		return nil, fmt.Errorf("flowtime: session needs at least one machine, got %d", machines)

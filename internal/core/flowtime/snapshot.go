@@ -13,14 +13,18 @@ import (
 // Snapshot/Restore and DESIGN.md).
 var _ engine.StatefulPolicy = (*policy)(nil)
 
-// SnapshotTag identifies the flowtime policy wire format.
-func (p *policy) SnapshotTag() string { return "flowtime/v1" }
+// SnapshotTag identifies the flowtime policy wire format. v2 switched the
+// per-machine pending index from the ostree treap to the flat implicit
+// B-tree (ostree.Flat) and serializes its structural snapshot instead; v1
+// snapshots are refused by the engine's tag check rather than silently
+// misread.
+func (p *policy) SnapshotTag() string { return "flowtime/v2" }
 
 // SaveState serializes every piece of policy state that can influence a
 // future decision: the option echo (so a restore under different semantics
-// fails loudly), the rule counters, each machine's pending SPT treap —
-// structurally, via ostree.Snapshot, because the treap's cached sums and
-// descent order feed λ and must restore bit-exactly — and the Rule 1/2
+// fails loudly), the rule counters, each machine's pending SPT index —
+// structurally, via ostree.Flat.Snapshot, because the index's cached sums
+// and leaf partition feed λ and must restore bit-exactly — and the Rule 1/2
 // counters, plus, under TrackDual, the dual bookkeeping (occupancy
 // integrals, breakpoint traces and the dense λ/C̃/snapshot slices). Arena
 // free lists and the dispatch pool are performance-only and rebuilt on load.

@@ -23,6 +23,12 @@ type DualReport struct {
 	// Lambda maps job id -> λ_j.
 	Lambda map[int]float64
 	execs  map[int]*execRecord
+	// slab is the current allocation chunk for execRecords. Records are
+	// handed out by alloc from chunks that are never reallocated once full
+	// (a full chunk is dropped and a fresh one created), so the pointers in
+	// execs stay valid while a dual-tracked run costs O(log n) record
+	// allocations instead of one per dispatch.
+	slab []execRecord
 }
 
 type execRecord struct {
@@ -39,19 +45,47 @@ type execRecord struct {
 	finished  bool
 }
 
-func newDualReport(eps, alpha, gamma float64) *DualReport {
-	return &DualReport{
-		Epsilon: eps, Alpha: alpha, Gamma: gamma,
-		Lambda: make(map[int]float64),
-		execs:  make(map[int]*execRecord),
+// dualSlabMin is the smallest execRecord chunk; later chunks double, so an
+// unhinted run of n dispatches makes O(log n) chunk allocations.
+const dualSlabMin = 64
+
+// newDualReport builds an empty report; hint presizes the per-job maps and
+// the first record chunk for a stream of about that many dispatches.
+func newDualReport(eps, alpha, gamma float64, hint int) *DualReport {
+	d := &DualReport{Epsilon: eps, Alpha: alpha, Gamma: gamma}
+	if hint > 0 {
+		d.Lambda = make(map[int]float64, hint)
+		d.execs = make(map[int]*execRecord, hint)
+		d.slab = make([]execRecord, 0, hint)
+	} else {
+		d.Lambda = make(map[int]float64)
+		d.execs = make(map[int]*execRecord)
 	}
+	return d
+}
+
+// alloc returns a zeroed execRecord from the slab, starting a fresh chunk
+// when the current one is full.
+func (d *DualReport) alloc() *execRecord {
+	if len(d.slab) == cap(d.slab) {
+		n := 2 * cap(d.slab)
+		if n < dualSlabMin {
+			n = dualSlabMin
+		}
+		d.slab = make([]execRecord, 0, n)
+	}
+	d.slab = append(d.slab, execRecord{})
+	return &d.slab[len(d.slab)-1]
 }
 
 func (d *DualReport) noteDispatch(j *sched.Job, machine int, lambda float64) {
 	d.Lambda[j.ID] = lambda
-	d.execs[j.ID] = &execRecord{
-		machine: machine, release: j.Release, weight: j.Weight, proc: j.Proc[machine],
-	}
+	e := d.alloc()
+	e.machine = machine
+	e.release = j.Release
+	e.weight = j.Weight
+	e.proc = j.Proc[machine]
+	d.execs[j.ID] = e
 }
 
 func (d *DualReport) noteFinish(id, machine int, start, speed, finish, remnant, defFinish float64) {

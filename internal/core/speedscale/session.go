@@ -18,14 +18,19 @@ type Session struct {
 	p  *spolicy
 }
 
-// NewSession starts a streaming run on the given number of machines.
+// NewSession starts a streaming run on the given number of machines,
+// preallocating per-job storage when Options.SizeHint announces the
+// expected stream size.
 func NewSession(machines int, opt Options) (*Session, error) {
-	return newSession(machines, opt, 0)
+	return newSession(machines, opt, opt.SizeHint)
 }
 
 func newSession(machines int, opt Options, hint int) (*Session, error) {
 	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
 		return nil, fmt.Errorf("speedscale: epsilon must be in (0,1), got %v", opt.Epsilon)
+	}
+	if hint < 0 {
+		hint = 0
 	}
 	if !(opt.Alpha > 1) {
 		return nil, fmt.Errorf("speedscale: alpha must exceed 1, got %v", opt.Alpha)

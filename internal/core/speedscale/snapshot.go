@@ -140,19 +140,18 @@ func (p *spolicy) LoadState(d *snapshot.Decoder) error {
 		for k := 0; k < cnt; k++ {
 			id := d.Int()
 			lambda := d.F64()
-			r := &execRecord{
-				machine:   int(int32(d.U32())),
-				release:   d.F64(),
-				weight:    d.F64(),
-				proc:      d.F64(),
-				started:   d.Bool(),
-				start:     d.F64(),
-				speed:     d.F64(),
-				finish:    d.F64(),
-				remnant:   d.F64(),
-				defFinish: d.F64(),
-				finished:  d.Bool(),
-			}
+			r := p.dual.alloc()
+			r.machine = int(int32(d.U32()))
+			r.release = d.F64()
+			r.weight = d.F64()
+			r.proc = d.F64()
+			r.started = d.Bool()
+			r.start = d.F64()
+			r.speed = d.F64()
+			r.finish = d.F64()
+			r.remnant = d.F64()
+			r.defFinish = d.F64()
+			r.finished = d.Bool()
 			if d.Err() != nil {
 				return d.Err()
 			}

@@ -57,6 +57,11 @@ type Options struct {
 	// argmin_i λ_ij; 0 selects automatically, 1 forces sequential. The
 	// choice never changes the output (see internal/dispatch).
 	ParallelDispatch int
+	// SizeHint preallocates per-job storage for a stream of about this many
+	// jobs (see engine.Options.SizeHint). Zero is valid — storage grows on
+	// demand — and the hint never changes outcomes. Batch Run overrides it
+	// with the instance's exact job count.
+	SizeHint int
 }
 
 // DefaultGamma returns the paper's γ(ε, α) (with the documented fallback for
@@ -151,7 +156,7 @@ func newPolicy(opt Options, alpha, gamma float64, machines, hint int) *spolicy {
 	p.res = &Result{Gamma: gamma, Alpha: alpha}
 	if opt.TrackDual {
 		p.snap = make([]float64, 0, hint)
-		p.dual = newDualReport(opt.Epsilon, alpha, gamma)
+		p.dual = newDualReport(opt.Epsilon, alpha, gamma, hint)
 	}
 	p.mach = make([]smachine, machines)
 	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)

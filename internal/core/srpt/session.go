@@ -17,14 +17,19 @@ type Session struct {
 	p  *policy
 }
 
-// NewSession starts a streaming run on the given number of machines.
+// NewSession starts a streaming run on the given number of machines,
+// preallocating per-job storage when Options.SizeHint announces the
+// expected stream size.
 func NewSession(machines int, opt Options) (*Session, error) {
-	return newSession(machines, opt, 0)
+	return newSession(machines, opt, opt.SizeHint)
 }
 
 func newSession(machines int, opt Options, hint int) (*Session, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("srpt: session needs at least one machine, got %d", machines)
+	}
+	if hint < 0 {
+		hint = 0
 	}
 	p := newPolicy(opt, machines)
 	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
@@ -96,14 +101,19 @@ type WeightedSession struct {
 	p  *wpolicy
 }
 
-// NewWeightedSession starts a streaming migratory weighted-SRPT run.
+// NewWeightedSession starts a streaming migratory weighted-SRPT run,
+// preallocating per-job storage when WeightedOptions.SizeHint announces the
+// expected stream size.
 func NewWeightedSession(machines int, opt WeightedOptions) (*WeightedSession, error) {
-	return newWeightedSession(machines, opt, 0)
+	return newWeightedSession(machines, opt, opt.SizeHint)
 }
 
 func newWeightedSession(machines int, _ WeightedOptions, hint int) (*WeightedSession, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("srpt: session needs at least one machine, got %d", machines)
+	}
+	if hint < 0 {
+		hint = 0
 	}
 	p := newWPolicy()
 	if hint > 0 {

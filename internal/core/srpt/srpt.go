@@ -46,6 +46,11 @@ type Options struct {
 	// dispatch.DefaultThreshold machines), 1 forces sequential. The choice
 	// never changes the output (see internal/dispatch).
 	ParallelDispatch int
+	// SizeHint preallocates per-job storage for a stream of about this many
+	// jobs (see engine.Options.SizeHint). Zero is valid — storage grows on
+	// demand — and the hint never changes outcomes. Batch Run overrides it
+	// with the instance's exact job count.
+	SizeHint int
 }
 
 // Result is the audited output of a run.

@@ -10,9 +10,15 @@ import (
 )
 
 // WeightedOptions configures a migratory weighted-SRPT run. The policy has
-// no tunables yet; the struct exists so knobs (preemption margins, machine
-// affinities) can land without breaking callers.
-type WeightedOptions struct{}
+// no semantic tunables yet; knobs (preemption margins, machine affinities)
+// can land here without breaking callers.
+type WeightedOptions struct {
+	// SizeHint preallocates per-job storage for a stream of about this many
+	// jobs (see engine.Options.SizeHint). Zero is valid — storage grows on
+	// demand — and the hint never changes outcomes. Batch RunWeighted
+	// overrides it with the instance's exact job count.
+	SizeHint int
+}
 
 // WeightedResult is the audited output of a migratory weighted-SRPT run.
 type WeightedResult struct {

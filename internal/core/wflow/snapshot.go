@@ -12,13 +12,16 @@ import (
 // checkpointed and restored bit-identically.
 var _ engine.StatefulPolicy = (*wpolicy)(nil)
 
-// SnapshotTag identifies the wflow policy wire format.
-func (p *wpolicy) SnapshotTag() string { return "wflow/v1" }
+// SnapshotTag identifies the wflow policy wire format. v2 switched both
+// per-machine pending indexes from ostree treaps to flat implicit B-trees
+// (ostree.Flat); v1 snapshots are refused by the engine's tag check rather
+// than silently misread.
+func (p *wpolicy) SnapshotTag() string { return "wflow/v2" }
 
 // SaveState serializes the weighted-rule state: the ε echo, the rejection
 // counters and budget, and per machine the weighted Rule 1/2 counters plus
-// both pending treaps — structurally, via ostree.Snapshot, because the
-// density treap's cached (p, w) aggregates and descent order feed the
+// both pending indexes — structurally, via ostree.Flat.Snapshot, because
+// the density index's cached (p, w) aggregates and leaf partition feed the
 // weighted λ and must restore bit-exactly.
 func (p *wpolicy) SaveState(e *snapshot.Encoder) {
 	e.F64(p.opt.Epsilon)

@@ -26,10 +26,11 @@
 //
 // The event-loop mechanics live in internal/engine; this package is the
 // engine Policy carrying the weighted rules, runnable in batch (Run) or
-// streaming (Session) form with bit-identical outcomes. The density treap
-// carries (p, w) as its auxiliary value pair, so one O(log n) rank query
-// yields both prefix aggregates of λ_ij; the machine argmin shards across
-// internal/dispatch like the unweighted scheduler.
+// streaming (Session) form with bit-identical outcomes. The density index
+// (a cache-resident ostree.Flat) carries (p, w) as its auxiliary value
+// pair, so one rank query yields both prefix aggregates of λ_ij; the
+// machine argmin shards across internal/dispatch like the unweighted
+// scheduler.
 package wflow
 
 import (
@@ -49,6 +50,11 @@ type Options struct {
 	// argmin_i λ_ij; 0 selects automatically, 1 forces sequential. The
 	// choice never changes the output (see internal/dispatch).
 	ParallelDispatch int
+	// SizeHint preallocates per-job storage for a stream of about this many
+	// jobs (see engine.Options.SizeHint). Zero is valid — storage grows on
+	// demand — and the hint never changes outcomes. Batch Run overrides it
+	// with the instance's exact job count.
+	SizeHint int
 }
 
 // Result is the audited output of a run.
@@ -67,8 +73,8 @@ type wmachine struct {
 	// ascending) and carries (p, w) as its value pair, so λ's prefix sums
 	// come from one rank query; paired with byProc for Rule 2's
 	// delete-max-processing.
-	pending *ostree.Tree // Key.P = −w/p (density order), vals = (p, w)
-	byProc  *ostree.Tree // Key.P = p (processing-time order)
+	pending *ostree.Flat // Key.P = −w/p (density order), vals = (p, w)
+	byProc  *ostree.Flat // Key.P = p (processing-time order)
 
 	victimW  float64 // Rule 1 weighted victim counter for the running job
 	counterW float64 // Rule 2 weighted counter c_i
@@ -90,8 +96,8 @@ func newPolicy(opt Options, machines int) *wpolicy {
 	p.mach = make([]wmachine, machines)
 	for i := range p.mach {
 		p.mach[i] = wmachine{
-			pending: ostree.New(uint64(0x77f1) + uint64(i)),
-			byProc:  ostree.New(uint64(0x88f2) + uint64(i)),
+			pending: ostree.NewFlat(),
+			byProc:  ostree.NewFlat(),
 		}
 	}
 	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
@@ -121,7 +127,7 @@ func (p *wpolicy) procKey(j *sched.Job, i int) ostree.Key {
 }
 
 // lambdaFor evaluates the weighted λ_ij for a hypothetical dispatch of j to
-// machine i. The density treap aggregates (p, w) alongside its keys, so the
+// machine i. The density index aggregates (p, w) alongside its keys, so the
 // prefix processing time Σ_{ℓ⪯j} p_iℓ and prefix weight both come from a
 // single rank query; the suffix weight is the complement against the
 // machine's pending total. Read-only, safe for concurrent machine shards.

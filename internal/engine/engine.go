@@ -33,8 +33,10 @@
 //
 // Hot-path discipline (see DESIGN.md): per-job state is dense, indexed by
 // the compact feed-order index; the id→index map is a growable direct-lookup
-// slice with a map fallback for sparse ID spaces; with a SizeHint the
-// session preallocates the job table, outcome maps and event heap so a
+// slice with a map fallback for sparse ID spaces; outcome decisions are
+// recorded densely by compact index (sched.OutcomeRecorder) and the public
+// Outcome maps materialize once at Close; with a SizeHint the session
+// preallocates the job table, outcome arrays and event heap so a
 // batch-sized run allocates no more than the pre-engine code did.
 package engine
 
@@ -129,8 +131,11 @@ type Core struct {
 	// across their whole preemption chain, and no job may exceed 1.
 	done []float64
 	ids  idIndex
-	out  *sched.Outcome
-	seq  int32
+	// rec is the dense recording path of the outcome: decisions are written
+	// by compact index into flat arrays inside the event loop; the public
+	// map form is materialized exactly once, at Session.Close.
+	rec *sched.OutcomeRecorder
+	seq int32
 }
 
 func (c *Core) init(pol Policy, opt Options) {
@@ -142,7 +147,7 @@ func (c *Core) init(pol Policy, opt Options) {
 	c.jobs = make([]sched.Job, 0, opt.SizeHint)
 	c.done = make([]float64, 0, opt.SizeHint)
 	c.ids.reserve(opt.SizeHint)
-	c.out = sched.NewOutcomeSized(opt.SizeHint)
+	c.rec = sched.NewOutcomeRecorder(opt.SizeHint)
 	eh := opt.EventHint
 	if eh == 0 {
 		eh = opt.SizeHint + opt.Machines + 1
@@ -171,7 +176,7 @@ func (c *Core) ID(jk int) int { return c.jobs[jk].ID }
 func (c *Core) IndexOf(id int) int { return c.ids.of(id) }
 
 // Assign records the dispatch of job jk to machine i in the outcome.
-func (c *Core) Assign(jk, i int) { c.out.Assigned[c.jobs[jk].ID] = i }
+func (c *Core) Assign(jk, i int) { c.rec.Assign(jk, i) }
 
 // Start begins executing job jk on machine i at time t with the given
 // processing volume and (frozen) speed, bumping the machine's start version
@@ -222,7 +227,7 @@ func (c *Core) Preempt(i int, t float64) (jk int, remVol float64) {
 		c.done[jk] += executed / c.jobs[jk].Proc[i]
 	}
 	if t-m.RunStart > sched.Eps {
-		c.out.Intervals = append(c.out.Intervals, sched.Interval{
+		c.rec.AppendInterval(sched.Interval{
 			Job: c.jobs[jk].ID, Machine: i, Start: m.RunStart, End: t, Speed: m.RunSpeed,
 		})
 	}
@@ -238,14 +243,14 @@ func (c *Core) Preempt(i int, t float64) (jk int, remVol float64) {
 // guard. The policy decides what (if anything) runs next.
 func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
 	jk, remVol = c.Preempt(i, t)
-	c.out.Rejected[c.jobs[jk].ID] = t
+	c.rec.Reject(jk, t)
 	return jk, remVol
 }
 
 // RejectPending records the rejection at time t of job jk that never
 // started (e.g. flowtime's Rule 2 shedding the largest pending job).
 func (c *Core) RejectPending(jk int, t float64) {
-	c.out.Rejected[c.jobs[jk].ID] = t
+	c.rec.Reject(jk, t)
 }
 
 // Bookkeep schedules a policy bookkeeping event at time t, delivered to
@@ -268,11 +273,10 @@ func (c *Core) handle(e eventq.Event) {
 		if m.Running != e.Job || m.RunSeq != e.Version {
 			return // stale: the execution was interrupted by a rejection
 		}
-		id := c.jobs[e.Job].ID
-		c.out.Intervals = append(c.out.Intervals, sched.Interval{
-			Job: id, Machine: int(e.Machine), Start: m.RunStart, End: e.Time, Speed: m.RunSpeed,
+		c.rec.AppendInterval(sched.Interval{
+			Job: c.jobs[e.Job].ID, Machine: int(e.Machine), Start: m.RunStart, End: e.Time, Speed: m.RunSpeed,
 		})
-		c.out.Completed[id] = e.Time
+		c.rec.Complete(int(e.Job), e.Time)
 		// The started volume ran to completion; for a never-preempted job
 		// vol is an exact copy of Proc, so done lands on exactly 1.
 		c.done[e.Job] += m.RunVol / c.jobs[e.Job].Proc[e.Machine]
@@ -297,7 +301,7 @@ func (c *Core) audit() error {
 			return fmt.Errorf("engine: internal invariant violated: machine %d still busy at end of run", i)
 		}
 	}
-	if got := len(c.out.Completed) + len(c.out.Rejected); got != len(c.jobs) {
+	if got := c.rec.CompletedCount() + c.rec.RejectedCount(); got != len(c.jobs) {
 		return fmt.Errorf("engine: internal invariant violated: %d jobs accounted, want %d", got, len(c.jobs))
 	}
 	// Conservation of volume across preemption chains: every completed job
@@ -310,7 +314,7 @@ func (c *Core) audit() error {
 		if d == 1 {
 			continue
 		}
-		if _, completed := c.out.Completed[c.jobs[jk].ID]; completed {
+		if c.rec.State(jk) == sched.JobCompleted {
 			if math.Abs(d-1) > volAuditTol {
 				return fmt.Errorf("engine: internal invariant violated: job %d completed with %v of its volume executed across its preemption chain",
 					c.jobs[jk].ID, d)

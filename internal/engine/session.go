@@ -65,6 +65,7 @@ func (s *Session) Feed(j sched.Job) error {
 	}
 	c.jobs = append(c.jobs, j)
 	c.done = append(c.done, 0)
+	c.rec.Add()
 	c.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: int32(jk), Machine: -1})
 	if j.Release > s.last {
 		s.last = j.Release
@@ -114,6 +115,7 @@ func (s *Session) FeedBatch(jobs []sched.Job) error {
 	c := &s.core
 	c.jobs = slices.Grow(c.jobs, len(jobs))
 	c.done = slices.Grow(c.done, len(jobs))
+	c.rec.Grow(len(jobs))
 	c.q.Grow(min(len(jobs), feedChunk))
 	var err error
 	sinceDrain := 0
@@ -134,6 +136,7 @@ func (s *Session) FeedBatch(jobs []sched.Job) error {
 		}
 		c.jobs = append(c.jobs, *j)
 		c.done = append(c.done, 0)
+		c.rec.Add()
 		c.q.Push(eventq.Event{Time: j.Release, Kind: eventq.KindArrival, Job: int32(jk), Machine: -1})
 		if j.Release > s.last {
 			s.last = j.Release
@@ -178,7 +181,7 @@ func (s *Session) Fed() int { return len(s.core.jobs) }
 // goroutine that owns the session.
 func (s *Session) Pending() int {
 	c := &s.core
-	return len(c.jobs) - len(c.out.Completed) - len(c.out.Rejected)
+	return len(c.jobs) - c.rec.CompletedCount() - c.rec.RejectedCount()
 }
 
 // EachFed visits every job admitted so far, in feed order. The visited Job
@@ -213,7 +216,10 @@ func (s *Session) Close() (*sched.Outcome, error) {
 	if err := c.audit(); err != nil {
 		return nil, err
 	}
-	return c.out, nil
+	// Materialize the public map form exactly once, after the audits: the
+	// whole run recorded densely, so this is the only point where per-job
+	// map inserts happen.
+	return c.rec.Finalize(func(jk int) int { return c.jobs[jk].ID }), nil
 }
 
 // drain pops and handles every queued event at time ≤ horizon. Events tied

@@ -189,15 +189,15 @@ func TestSessionAdvanceToFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Nothing drains at the release watermark alone...
-	if n := len(s.core.out.Completed); n != 0 {
+	if n := s.core.rec.CompletedCount(); n != 0 {
 		t.Fatalf("completions before AdvanceTo: %d", n)
 	}
 	// ...but advancing past the completion time materializes it mid-stream.
 	if err := s.AdvanceTo(5); err != nil {
 		t.Fatal(err)
 	}
-	if c, ok := s.core.out.Completed[0]; !ok || c != 4 {
-		t.Fatalf("completion %v after AdvanceTo(5)", c)
+	if st, c := s.core.rec.State(0), s.core.rec.When(0); st != sched.JobCompleted || c != 4 {
+		t.Fatalf("state %d completion %v after AdvanceTo(5)", st, c)
 	}
 	// The advance is a promise: earlier releases are now rejected.
 	if err := s.Feed(job(1, 3, 1)); err == nil || !strings.Contains(err.Error(), "watermark") {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -58,6 +59,24 @@ func RouteByTenant(tenant TenantFunc) RouteFunc {
 		h ^= h >> 31
 		return int(h % uint64(shards))
 	}
+}
+
+// PerShardHint splits a stream-level job-count hint (e.g. the "jobs" field
+// of an NDJSON trace header) into the per-shard session size hint for a
+// load-balanced route: the expected share plus three standard deviations of
+// binomial routing imbalance, so a hinted session almost never regrows its
+// per-job storage mid-stream. A non-positive total means the stream length
+// is unknown and stays unknown (0). Like every size hint, the result is
+// advisory and never changes outcomes.
+func PerShardHint(total, shards int) int {
+	if total <= 0 || shards <= 0 {
+		return 0
+	}
+	if shards == 1 {
+		return total
+	}
+	mean := float64(total) / float64(shards)
+	return int(mean+3*math.Sqrt(mean)) + 1
 }
 
 // ShardOptions configures the batched fan-out.

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"slices"
 	"sync"
 
 	"repro/internal/eventq"
@@ -113,7 +112,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 		}
 	})
 	sw.Section(tagQueue, func(e *snapshot.Encoder) { c.q.Snapshot(e) })
-	sw.Section(tagOutcome, func(e *snapshot.Encoder) { snapshotOutcome(e, c.out) })
+	sw.Section(tagOutcome, func(e *snapshot.Encoder) { snapshotOutcome(e, c) })
 	sw.Section(tagPolicy, func(e *snapshot.Encoder) {
 		e.Str(sp.SnapshotTag())
 		sp.SaveState(e)
@@ -121,42 +120,27 @@ func (s *Session) Snapshot(w io.Writer) error {
 	return sw.Close()
 }
 
-// snapshotOutcome serializes the outcome with map entries sorted by job id,
-// so the same outcome always produces the same bytes (maps iterate in random
-// order; snapshots should not).
-func snapshotOutcome(e *snapshot.Encoder, o *sched.Outcome) {
-	e.U64(uint64(len(o.Intervals)))
-	for k := range o.Intervals {
-		iv := &o.Intervals[k]
+// snapshotOutcome serializes the dense outcome record: the interval log
+// followed by one (state, decision time, machine) triple per fed job in
+// feed order. The dense form is already canonical — slot order is feed
+// order — so identical sessions produce identical bytes with no sorting.
+func snapshotOutcome(e *snapshot.Encoder, c *Core) {
+	ivs := c.rec.Intervals()
+	e.U64(uint64(len(ivs)))
+	for k := range ivs {
+		iv := &ivs[k]
 		e.I64(int64(iv.Job))
 		e.U32(uint32(iv.Machine))
 		e.F64(iv.Start)
 		e.F64(iv.End)
 		e.F64(iv.Speed)
 	}
-	writeIDMapF64 := func(m map[int]float64) {
-		ids := make([]int, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		slices.Sort(ids)
-		e.U64(uint64(len(ids)))
-		for _, id := range ids {
-			e.I64(int64(id))
-			e.F64(m[id])
-		}
-	}
-	writeIDMapF64(o.Completed)
-	writeIDMapF64(o.Rejected)
-	ids := make([]int, 0, len(o.Assigned))
-	for id := range o.Assigned {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	e.U64(uint64(len(ids)))
-	for _, id := range ids {
-		e.I64(int64(id))
-		e.U32(uint32(o.Assigned[id]))
+	n := c.rec.Len()
+	e.U64(uint64(n))
+	for jk := 0; jk < n; jk++ {
+		e.U8(c.rec.State(jk))
+		e.F64(c.rec.When(jk))
+		e.U32(uint32(c.rec.Machine(jk)))
 	}
 }
 
@@ -262,6 +246,7 @@ func restoreInto(sr *snapshot.Reader, s *Session, sp StatefulPolicy) error {
 			return d.Err()
 		}
 		c.jobs = append(c.jobs, j)
+		c.rec.Add()
 	}
 	if err := d.Done(); err != nil {
 		return err
@@ -365,12 +350,18 @@ func restoreInto(sr *snapshot.Reader, s *Session, sp StatefulPolicy) error {
 	return sr.End()
 }
 
-// ValidateTreeIDs walks a restored ostree and fails the decoder when a key
-// references a job the session never fed — a later IndexOf on such a key
-// would hand the policy a -1 index and panic deep inside an event handler,
-// far from the corrupt snapshot that caused it. what names the tree in the
-// error (e.g. "machine 3 pending").
-func ValidateTreeIDs(c *Core, t *ostree.Tree, d *snapshot.Decoder, what string) error {
+// KeyIndex is the read side any order-statistic pending index exposes for
+// restore-time validation: both ostree.Tree and ostree.Flat satisfy it.
+type KeyIndex interface {
+	Ascend(func(ostree.Key) bool)
+}
+
+// ValidateTreeIDs walks a restored ostree index (treap or flat) and fails
+// the decoder when a key references a job the session never fed — a later
+// IndexOf on such a key would hand the policy a -1 index and panic deep
+// inside an event handler, far from the corrupt snapshot that caused it.
+// what names the index in the error (e.g. "machine 3 pending").
+func ValidateTreeIDs(c *Core, t KeyIndex, d *snapshot.Decoder, what string) error {
 	bad, found := 0, false
 	t.Ascend(func(k ostree.Key) bool {
 		if c.IndexOf(k.ID) < 0 {
@@ -507,12 +498,15 @@ func validateEvents(q *eventq.Queue, d *snapshot.Decoder, njobs, machines int) e
 	return nil
 }
 
-// restoreOutcome fills the session outcome, resolving every id against the
-// restored job table so later policy lookups can never index out of range.
+// restoreOutcome fills the dense session outcome record, resolving every id
+// against the restored job table so later policy lookups can never index
+// out of range. The single state byte per slot makes the old disjointness
+// and over-accounting checks structural: a job cannot be both completed and
+// rejected, and at most njobs decisions exist.
 func restoreOutcome(d *snapshot.Decoder, c *Core) error {
 	njobs := len(c.jobs)
 	n := d.Count(8 + 4 + 3*8)
-	c.out.Intervals = slices.Grow(c.out.Intervals, n)
+	c.rec.GrowIntervals(n)
 	for k := 0; k < n; k++ {
 		iv := sched.Interval{
 			Job:     d.Int(),
@@ -528,55 +522,41 @@ func restoreOutcome(d *snapshot.Decoder, c *Core) error {
 			d.Failf("interval %d references unknown job %d or machine %d", k, iv.Job, iv.Machine)
 			return d.Err()
 		}
-		c.out.Intervals = append(c.out.Intervals, iv)
+		c.rec.AppendInterval(iv)
 	}
-	readIDMapF64 := func(m map[int]float64, what string) bool {
-		cnt := d.Count(16)
-		for k := 0; k < cnt; k++ {
-			id := d.Int()
-			t := d.F64()
-			if d.Err() != nil {
-				return false
-			}
-			if c.ids.of(id) < 0 {
-				d.Failf("%s entry references unknown job %d", what, id)
-				return false
-			}
-			if _, dup := m[id]; dup {
-				d.Failf("duplicate %s entry for job %d", what, id)
-				return false
-			}
-			m[id] = t
-		}
-		return true
-	}
-	if !readIDMapF64(c.out.Completed, "completion") {
+	if slots := d.Count(1 + 8 + 4); slots != njobs {
+		d.Failf("%d outcome slots for %d jobs", slots, njobs)
 		return d.Err()
 	}
-	if !readIDMapF64(c.out.Rejected, "rejection") {
-		return d.Err()
-	}
-	cnt := d.Count(12)
-	for k := 0; k < cnt; k++ {
-		id := d.Int()
-		mach := int(int32(d.U32()))
+	for jk := 0; jk < njobs; jk++ {
+		st := d.U8()
+		when := d.F64()
+		mach := int32(d.U32())
 		if d.Err() != nil {
 			return d.Err()
 		}
-		if c.ids.of(id) < 0 || mach < 0 || mach >= len(c.mach) {
-			d.Failf("assignment references unknown job %d or machine %d", id, mach)
+		switch st {
+		case sched.JobOpen:
+			// Open slots must carry the zero timestamp so re-snapshotting a
+			// restored session reproduces the donor's bytes exactly.
+			if when != 0 {
+				d.Failf("open job %d carries decision time %v", c.jobs[jk].ID, when)
+				return d.Err()
+			}
+		case sched.JobCompleted:
+			c.rec.Complete(jk, when)
+		case sched.JobRejected:
+			c.rec.Reject(jk, when)
+		default:
+			d.Failf("job %d has unknown outcome state %d", c.jobs[jk].ID, st)
 			return d.Err()
 		}
-		c.out.Assigned[id] = mach
-	}
-	if got := len(c.out.Completed) + len(c.out.Rejected); got > njobs {
-		d.Failf("%d jobs accounted in the outcome, only %d fed", got, njobs)
-		return d.Err()
-	}
-	for id := range c.out.Completed {
-		if _, both := c.out.Rejected[id]; both {
-			d.Failf("job %d both completed and rejected", id)
-			return d.Err()
+		if mach != sched.NoMachine {
+			if mach < 0 || int(mach) >= len(c.mach) {
+				d.Failf("job %d assigned to unknown machine %d", c.jobs[jk].ID, mach)
+				return d.Err()
+			}
+			c.rec.Assign(jk, int(mach))
 		}
 	}
 	return nil

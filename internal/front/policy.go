@@ -36,11 +36,13 @@ const servePolicies = "flowtime|wflow|speedscale|srpt|wsrpt"
 
 // buildSession constructs (restore == nil) or restores (restore != nil) one
 // shard's scheduler session. Dispatch runs sequentially inside each session:
-// the shard fleet is the parallelism.
-func buildSession(policy string, machines int, eps, alpha float64, restore io.Reader) (*policySession, error) {
+// the shard fleet is the parallelism. sizeHint preallocates per-job storage
+// for a stream of about that many jobs (0 grows on demand); restores ignore
+// it — a restored session sizes itself from the snapshot.
+func buildSession(policy string, machines int, eps, alpha float64, sizeHint int, restore io.Reader) (*policySession, error) {
 	switch policy {
 	case "flowtime":
-		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: 1}
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint}
 		var s *flowtime.Session
 		var err error
 		if restore != nil {
@@ -59,7 +61,7 @@ func buildSession(policy string, machines int, eps, alpha float64, restore io.Re
 			return res.Outcome, nil
 		}}, nil
 	case "wflow":
-		opt := wflow.Options{Epsilon: eps, ParallelDispatch: 1}
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint}
 		var s *wflow.Session
 		var err error
 		if restore != nil {
@@ -78,7 +80,7 @@ func buildSession(policy string, machines int, eps, alpha float64, restore io.Re
 			return res.Outcome, nil
 		}}, nil
 	case "speedscale":
-		opt := speedscale.Options{Epsilon: eps, Alpha: alpha, ParallelDispatch: 1}
+		opt := speedscale.Options{Epsilon: eps, Alpha: alpha, ParallelDispatch: 1, SizeHint: sizeHint}
 		var s *speedscale.Session
 		var err error
 		if restore != nil {
@@ -97,7 +99,7 @@ func buildSession(policy string, machines int, eps, alpha float64, restore io.Re
 			return res.Outcome, nil
 		}}, nil
 	case "srpt":
-		opt := srpt.Options{ParallelDispatch: 1}
+		opt := srpt.Options{ParallelDispatch: 1, SizeHint: sizeHint}
 		var s *srpt.Session
 		var err error
 		if restore != nil {
@@ -121,7 +123,7 @@ func buildSession(policy string, machines int, eps, alpha float64, restore io.Re
 		if restore != nil {
 			s, err = srpt.RestoreWeighted(restore, srpt.WeightedOptions{})
 		} else {
-			s, err = srpt.NewWeightedSession(machines, srpt.WeightedOptions{})
+			s, err = srpt.NewWeightedSession(machines, srpt.WeightedOptions{SizeHint: sizeHint})
 		}
 		if err != nil {
 			return nil, err

@@ -81,6 +81,8 @@ type Config struct {
 	ThrottleDelay time.Duration // per-job intake delay in the Throttle state (default 1ms, <0 disables)
 	AckTimeout    time.Duration // grace window for a full ack channel before the stream is killed (default 250ms, <0 kills instantly)
 
+	SizeHint int // expected total jobs across all streams (split per shard via engine.PerShardHint; 0 grows on demand; never changes outcomes)
+
 	CheckpointPath  string // durable snapshot path ("" disables checkpointing)
 	CheckpointEvery int    // fed jobs between periodic checkpoints (0: final only)
 
@@ -193,7 +195,7 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 	if sessions == nil {
 		sessions = make([]*policySession, cfg.Shards)
 		for k := range sessions {
-			sessions[k], err = buildSession(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, nil)
+			sessions[k], err = buildSession(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, engine.PerShardHint(cfg.SizeHint, cfg.Shards), nil)
 			if err != nil {
 				for _, s := range sessions[:k] {
 					s.finish()

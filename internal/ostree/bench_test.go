@@ -14,13 +14,38 @@ func buildTree(n int, seed uint64) *Tree {
 	return tr
 }
 
+func buildFlat(n int, seed uint64) *Flat {
+	fl := NewFlat()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := 0; i < n; i++ {
+		fl.Insert(Key{P: rng.Float64() * 100, Release: rng.Float64(), ID: i})
+	}
+	return fl
+}
+
+// probeKeys pre-generates the random inputs a benchmark consumes, so the
+// measured loop times the data structure and not the PRNG (rand.Float64 is
+// ~10ns — a third of a rank query).
+func probeKeys(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{P: rng.Float64() * 100, ID: -1}
+	}
+	return keys
+}
+
+const probeMask = 1<<13 - 1 // 8192 pre-generated inputs, cycled
+
 func BenchmarkInsert(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	probes := probeKeys(probeMask+1, 1)
 	tr := New(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Insert(Key{P: rng.Float64() * 100, ID: i})
+		k := probes[i&probeMask]
+		k.ID = i
+		tr.Insert(k)
 		if tr.Len() > 100000 {
 			b.StopTimer()
 			tr = New(uint64(i))
@@ -31,23 +56,60 @@ func BenchmarkInsert(b *testing.B) {
 
 func BenchmarkRankStats(b *testing.B) {
 	tr := buildTree(10000, 7)
-	rng := rand.New(rand.NewSource(2))
+	probes := probeKeys(probeMask+1, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.RankStats(Key{P: rng.Float64() * 100, ID: -1})
+		tr.RankStats(probes[i&probeMask])
+	}
+}
+
+// BenchmarkPendingRankStats is the flat-index counterpart of
+// BenchmarkRankStats: the same probe stream against an ostree.Flat of the
+// same size. Gated on allocs/op in CI (cmd/benchcheck); the ns/op ratio to
+// BenchmarkRankStats is the headline number of the cache-resident layout.
+func BenchmarkPendingRankStats(b *testing.B) {
+	fl := buildFlat(10000, 7)
+	probes := probeKeys(probeMask+1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.RankStats(probes[i&probeMask])
 	}
 }
 
 func BenchmarkInsertDeleteMinMax(b *testing.B) {
 	tr := buildTree(10000, 9)
-	rng := rand.New(rand.NewSource(3))
+	probes := probeKeys(probeMask+1, 3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Insert(Key{P: rng.Float64() * 100, ID: 100000 + i})
+		k := probes[i&probeMask]
+		k.ID = 100000 + i
+		tr.Insert(k)
 		tr.DeleteMin()
-		tr.Insert(Key{P: rng.Float64() * 100, ID: 200000 + i})
+		k = probes[(i+1)&probeMask]
+		k.ID = 200000 + i
+		tr.Insert(k)
 		tr.DeleteMax()
+	}
+}
+
+// BenchmarkFlatInsertDeleteMinMax mirrors BenchmarkInsertDeleteMinMax on the
+// flat index (advisory; not gated).
+func BenchmarkFlatInsertDeleteMinMax(b *testing.B) {
+	fl := buildFlat(10000, 9)
+	probes := probeKeys(probeMask+1, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := probes[i&probeMask]
+		k.ID = 100000 + i
+		fl.Insert(k)
+		fl.DeleteMin()
+		k = probes[(i+1)&probeMask]
+		k.ID = 200000 + i
+		fl.Insert(k)
+		fl.DeleteMax()
 	}
 }

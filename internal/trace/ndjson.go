@@ -15,13 +15,19 @@ import (
 // consumable one job at a time so streaming schedulers (engine.Session and
 // the scheduler sessions of internal/core) never materialize the instance.
 //
-// Line 1 is a header object {"machines": M, "alpha": A}; every following
-// non-blank line is one job in the same shape as the "jobs" entries of the
-// batch format, in non-decreasing release order:
+// Line 1 is a header object {"machines": M, "alpha": A, "jobs": N}; every
+// following non-blank line is one job in the same shape as the "jobs"
+// entries of the batch format, in non-decreasing release order:
 //
-//	{"machines":4,"alpha":2}
+//	{"machines":4,"alpha":2,"jobs":2}
 //	{"id":0,"release":0,"weight":1,"proc":[3,1,4,1]}
 //	{"id":1,"release":0.5,"weight":2,"proc":[5,9,2,6]}
+//
+// "jobs" is an optional advisory size hint — the number of job lines the
+// producer expects to emit — letting a consumer preallocate per-job storage
+// for the whole stream (sessions accept it as Options.SizeHint). It is
+// never trusted for correctness: a trace may under- or over-deliver, and
+// readers keep validating every line.
 //
 // Blank lines are ignored, so traces can be concatenated and hand-edited.
 
@@ -29,6 +35,7 @@ import (
 type ndjsonHeader struct {
 	Machines int     `json:"machines"`
 	Alpha    float64 `json:"alpha,omitempty"`
+	Jobs     int     `json:"jobs,omitempty"`
 }
 
 // maxNDJSONLine bounds one trace line (a job with a very wide Proc vector
@@ -50,6 +57,7 @@ type NDJSONReader struct {
 	sc       *bufio.Scanner
 	machines int
 	alpha    float64
+	jobs     int
 	last     float64 // latest release seen
 	line     int     // current physical line, for error messages
 	seen     map[int]int // strict mode: job id -> first line, nil otherwise
@@ -73,8 +81,12 @@ func NewNDJSONReader(r io.Reader) (*NDJSONReader, error) {
 		if h.Machines <= 0 {
 			return nil, fmt.Errorf("trace: ndjson line %d: header needs at least one machine, got %d", nr.line, h.Machines)
 		}
+		if h.Jobs < 0 {
+			return nil, fmt.Errorf("trace: ndjson line %d: header declares %d jobs", nr.line, h.Jobs)
+		}
 		nr.machines = h.Machines
 		nr.alpha = h.Alpha
+		nr.jobs = h.Jobs
 		return nr, nil
 	}
 	if err := sc.Err(); err != nil {
@@ -89,6 +101,12 @@ func (r *NDJSONReader) Machines() int { return r.machines }
 // Alpha returns the power exponent declared by the header (0 for pure
 // flow-time traces).
 func (r *NDJSONReader) Alpha() float64 { return r.alpha }
+
+// Jobs returns the advisory job count declared by the header, 0 when the
+// producer did not know it. It is a preallocation hint only — the stream
+// may deliver more or fewer lines — so pass it to size hints, never to
+// logic that assumes the stream length.
+func (r *NDJSONReader) Jobs() int { return r.jobs }
 
 // Strict hardens the reader for hostile inputs (a network front door
 // ingesting untrusted tenant streams): duplicate job ids are rejected at the
@@ -197,14 +215,25 @@ type NDJSONWriter struct {
 }
 
 // NewNDJSONWriter writes the header line and returns a streaming writer.
-// Call Flush when done.
+// Call Flush when done. The header carries no job-count hint — the producer
+// of an open-ended stream doesn't know it; use NewNDJSONWriterHint when the
+// count is known up front.
 func NewNDJSONWriter(w io.Writer, machines int, alpha float64) (*NDJSONWriter, error) {
+	return NewNDJSONWriterHint(w, machines, alpha, 0)
+}
+
+// NewNDJSONWriterHint is NewNDJSONWriter with an advisory job count in the
+// header (0 omits it), letting consumers preallocate for the whole stream.
+func NewNDJSONWriterHint(w io.Writer, machines int, alpha float64, jobs int) (*NDJSONWriter, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("trace: ndjson: need at least one machine, got %d", machines)
 	}
+	if jobs < 0 {
+		return nil, fmt.Errorf("trace: ndjson: negative job count hint %d", jobs)
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(ndjsonHeader{Machines: machines, Alpha: alpha}); err != nil {
+	if err := enc.Encode(ndjsonHeader{Machines: machines, Alpha: alpha, Jobs: jobs}); err != nil {
 		return nil, err
 	}
 	return &NDJSONWriter{w: bw, enc: enc}, nil
@@ -223,9 +252,10 @@ func (w *NDJSONWriter) Write(j *sched.Job) error {
 // Flush flushes the underlying buffer.
 func (w *NDJSONWriter) Flush() error { return w.w.Flush() }
 
-// WriteInstanceNDJSON encodes a whole instance in NDJSON form.
+// WriteInstanceNDJSON encodes a whole instance in NDJSON form. The header
+// carries the instance's exact job count as the advisory size hint.
 func WriteInstanceNDJSON(w io.Writer, ins *sched.Instance) error {
-	nw, err := NewNDJSONWriter(w, ins.Machines, ins.Alpha)
+	nw, err := NewNDJSONWriterHint(w, ins.Machines, ins.Alpha, len(ins.Jobs))
 	if err != nil {
 		return err
 	}

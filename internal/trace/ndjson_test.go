@@ -11,6 +11,59 @@ import (
 	"repro/internal/workload"
 )
 
+// TestNDJSONJobsHint pins the header's advisory job count: instance writes
+// declare the exact count, open-ended writers omit it (reader sees 0), a
+// legacy header without the field still parses, and a negative declaration
+// is refused at the header line.
+func TestNDJSONJobsHint(t *testing.T) {
+	ins := workload.Random(workload.DefaultConfig(17, 3, 5))
+	var raw bytes.Buffer
+	if err := WriteInstanceNDJSON(&raw, ins); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewNDJSONReader(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs() != 17 {
+		t.Fatalf("instance trace declares %d jobs, want 17", r.Jobs())
+	}
+
+	var open bytes.Buffer
+	w, err := NewNDJSONWriter(&open, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(open.String(), "jobs") {
+		t.Fatalf("open-ended header leaked a jobs field: %q", open.String())
+	}
+	r, err = NewNDJSONReader(bytes.NewReader(open.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs() != 0 {
+		t.Fatalf("open-ended trace declares %d jobs, want 0", r.Jobs())
+	}
+
+	r, err = NewNDJSONReader(strings.NewReader("{\"machines\":2}\n"))
+	if err != nil {
+		t.Fatalf("legacy header without jobs: %v", err)
+	}
+	if r.Jobs() != 0 {
+		t.Fatalf("legacy trace declares %d jobs, want 0", r.Jobs())
+	}
+
+	if _, err := NewNDJSONReader(strings.NewReader("{\"machines\":2,\"jobs\":-4}\n")); err == nil {
+		t.Fatal("negative jobs hint accepted")
+	}
+	if _, err := NewNDJSONWriterHint(io.Discard, 2, 0, -1); err == nil {
+		t.Fatal("negative jobs hint written")
+	}
+}
+
 // TestNextBatchMatchesNext pins the batched reader against the per-job one:
 // every slab size reassembles the identical job sequence, the final partial
 // slab arrives together with io.EOF, and a drained reader keeps returning

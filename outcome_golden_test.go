@@ -1,0 +1,258 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/core/speedscale"
+	"repro/internal/core/srpt"
+	"repro/internal/core/wflow"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// goldenSession is the slice of the five policies' session APIs the dense
+// outcome goldens need: batched feeding, a mid-stream checkpoint, and a
+// close that surfaces the Outcome.
+type goldenSession interface {
+	FeedBatch(jobs []sched.Job) error
+}
+
+// TestDenseOutcomeGoldens pins the dense outcome-recording path (the
+// engine's flat state/when/machine arrays, materialized into Outcome maps at
+// Close) across all five policies at once: a straight full-feed session is
+// the golden, and both a batch-split feed — the job slice cut into several
+// FeedBatch calls — and a kill-resume run — snapshot after the first cut,
+// restore into a fresh session, feed the rest — must reproduce its Outcome
+// bit-identically. The per-policy equivalence suites cover these paths in
+// more depth individually; this test exists so a change to the shared
+// recording path cannot pass by fixing one policy and regressing another.
+func TestDenseOutcomeGoldens(t *testing.T) {
+	const m = 4
+	cfg := workload.DefaultConfig(600, m, 21)
+	cfg.Load = 1.2
+	cfg.Weighted = true
+	ins := workload.Random(cfg)
+	ins.Alpha = 2 // speedscale needs a power exponent; the others ignore it
+
+	type harness struct {
+		open    func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error)
+		restore func(io.Reader) (goldenSession, func() (*sched.Outcome, error), error)
+	}
+	policies := map[string]harness{
+		"flowtime": {
+			open: func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error) {
+				s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, s.Snapshot, nil
+			},
+			restore: func(r io.Reader) (goldenSession, func() (*sched.Outcome, error), error) {
+				s, err := flowtime.Restore(r, flowtime.Options{Epsilon: 0.2})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, nil
+			},
+		},
+		"wflow": {
+			open: func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error) {
+				s, err := wflow.NewSession(m, wflow.Options{Epsilon: 0.25})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, s.Snapshot, nil
+			},
+			restore: func(r io.Reader) (goldenSession, func() (*sched.Outcome, error), error) {
+				s, err := wflow.Restore(r, wflow.Options{Epsilon: 0.25})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, nil
+			},
+		},
+		"speedscale": {
+			open: func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error) {
+				s, err := speedscale.NewSession(m, speedscale.Options{Epsilon: 0.3, Alpha: 2})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, s.Snapshot, nil
+			},
+			restore: func(r io.Reader) (goldenSession, func() (*sched.Outcome, error), error) {
+				s, err := speedscale.Restore(r, speedscale.Options{Epsilon: 0.3, Alpha: 2})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, nil
+			},
+		},
+		"srpt": {
+			open: func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error) {
+				s, err := srpt.NewSession(m, srpt.Options{})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, s.Snapshot, nil
+			},
+			restore: func(r io.Reader) (goldenSession, func() (*sched.Outcome, error), error) {
+				s, err := srpt.Restore(r, srpt.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, nil
+			},
+		},
+		"wsrpt": {
+			open: func() (goldenSession, func() (*sched.Outcome, error), func(io.Writer) error, error) {
+				s, err := srpt.NewWeightedSession(m, srpt.WeightedOptions{})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, s.Snapshot, nil
+			},
+			restore: func(r io.Reader) (goldenSession, func() (*sched.Outcome, error), error) {
+				s, err := srpt.RestoreWeighted(r, srpt.WeightedOptions{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s, func() (*sched.Outcome, error) {
+					res, err := s.Close()
+					if err != nil {
+						return nil, err
+					}
+					return res.Outcome, nil
+				}, nil
+			},
+		},
+	}
+
+	// Split points for the batch-split feed and the checkpoint cut; jobs are
+	// release-sorted, so any slice boundary is a legal FeedBatch boundary.
+	splits := []int{0, 113, 250, 251, 480, len(ins.Jobs)}
+
+	for name, h := range policies {
+		t.Run(name, func(t *testing.T) {
+			// Golden: one session, one FeedBatch.
+			s, closeFn, _, err := h.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.FeedBatch(ins.Jobs); err != nil {
+				t.Fatal(err)
+			}
+			golden, err := closeFn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(golden.Completed)+len(golden.Rejected) != len(ins.Jobs) {
+				t.Fatalf("golden accounts %d+%d jobs, want %d",
+					len(golden.Completed), len(golden.Rejected), len(ins.Jobs))
+			}
+
+			// Batch-split: the same jobs across several FeedBatch calls.
+			s, closeFn, _, err = h.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(splits); i++ {
+				if err := s.FeedBatch(ins.Jobs[splits[i-1]:splits[i]]); err != nil {
+					t.Fatalf("split %d: %v", i, err)
+				}
+			}
+			split, err := closeFn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(golden, split) {
+				t.Fatal("batch-split outcome diverges from the golden")
+			}
+
+			// Kill-resume: checkpoint mid-stream, restore, feed the rest.
+			cut := splits[2]
+			s, _, snap, err := h.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.FeedBatch(ins.Jobs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := snap(&buf); err != nil {
+				t.Fatal(err)
+			}
+			rs, closeFn, err := h.restore(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.FeedBatch(ins.Jobs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := closeFn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(golden, resumed) {
+				t.Fatal("kill-resume outcome diverges from the golden")
+			}
+		})
+	}
+}
