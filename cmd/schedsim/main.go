@@ -78,6 +78,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0, "power exponent override (0: use trace)")
 		epsS     = flag.Float64("epsS", 0.2, "speed augmentation (speedaug)")
 		parallel = flag.Int("parallel", 0, "dispatch worker count for the λ-dispatch policies (0: auto, 1: sequential)")
+		eventq   = flag.String("eventq", "", "engine event-queue implementation for the session-backed policies: heap|calendar (empty: heap; performance-only)")
 		stream   = flag.Bool("stream", false, "consume an NDJSON trace incrementally (file or stdin)")
 		batch    = flag.Int("batch", 256, "stream ingestion batch size (1: per-job Feed path)")
 		ckpt     = flag.String("checkpoint", "", "stream mode: write session snapshots to this file")
@@ -118,7 +119,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "schedsim: -checkpoint-every and -stop-after need -checkpoint FILE")
 			os.Exit(2)
 		}
-		runStream(*policy, *eps, *alpha, *parallel, *batch, flag.Arg(0), *dump,
+		runStream(*policy, *eps, *alpha, *parallel, *batch, *eventq, flag.Arg(0), *dump,
 			streamCheckpoints{File: *ckpt, Every: *ckptN, StopAfter: *stopN, Resume: *resume})
 		return
 	}
@@ -139,27 +140,27 @@ func main() {
 	mode := sched.ValidateMode{}
 	switch *policy {
 	case "flowtime":
-		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: *eps, ParallelDispatch: *parallel})
+		res, err := flowtime.Run(ins, flowtime.Options{Epsilon: *eps, ParallelDispatch: *parallel, EventQueue: *eventq})
 		if err != nil {
 			fatal(err)
 		}
 		out = res.Outcome
 		mode.RequireUnitSpeed = true
 	case "wflow":
-		res, err := wflow.Run(ins, wflow.Options{Epsilon: *eps, ParallelDispatch: *parallel})
+		res, err := wflow.Run(ins, wflow.Options{Epsilon: *eps, ParallelDispatch: *parallel, EventQueue: *eventq})
 		if err != nil {
 			fatal(err)
 		}
 		out = res.Outcome
 		mode.RequireUnitSpeed = true
 	case "speedscale":
-		res, err := speedscale.Run(ins, speedscale.Options{Epsilon: *eps, Alpha: *alpha, ParallelDispatch: *parallel})
+		res, err := speedscale.Run(ins, speedscale.Options{Epsilon: *eps, Alpha: *alpha, ParallelDispatch: *parallel, EventQueue: *eventq})
 		if err != nil {
 			fatal(err)
 		}
 		out = res.Outcome
 	case "srpt":
-		res, err := srpt.Run(ins, srpt.Options{ParallelDispatch: *parallel})
+		res, err := srpt.Run(ins, srpt.Options{ParallelDispatch: *parallel, EventQueue: *eventq})
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +168,7 @@ func main() {
 		mode.AllowPreemption = true
 		mode.RequireUnitSpeed = true
 	case "wsrpt":
-		res, err := srpt.RunWeighted(ins, srpt.WeightedOptions{})
+		res, err := srpt.RunWeighted(ins, srpt.WeightedOptions{EventQueue: *eventq})
 		if err != nil {
 			fatal(err)
 		}
@@ -282,7 +283,7 @@ type streamCheckpoints struct {
 // disk every ck.Every fed jobs (and before a ck.StopAfter exit), each
 // snapshot written to a temp file, fsynced and renamed into place so a crash
 // mid-checkpoint never corrupts the previous one.
-func runStream(policy string, eps, alpha float64, parallel, batch int, path, dump string, ck streamCheckpoints) {
+func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, path, dump string, ck streamCheckpoints) {
 	in := io.Reader(os.Stdin)
 	name := "stdin"
 	if path != "" && path != "-" {
@@ -314,7 +315,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 	)
 	switch policy {
 	case "flowtime":
-		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs()}
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs(), EventQueue: eventq}
 		var s *flowtime.Session
 		var err error
 		if resumeFrom != nil {
@@ -334,7 +335,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "wflow":
-		opt := wflow.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs()}
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: parallel, SizeHint: r.Jobs(), EventQueue: eventq}
 		var s *wflow.Session
 		var err error
 		if resumeFrom != nil {
@@ -358,7 +359,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		if a == 0 {
 			a = r.Alpha()
 		}
-		opt := speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel, SizeHint: r.Jobs()}
+		opt := speedscale.Options{Epsilon: eps, Alpha: a, ParallelDispatch: parallel, SizeHint: r.Jobs(), EventQueue: eventq}
 		var s *speedscale.Session
 		var err error
 		if resumeFrom != nil {
@@ -378,7 +379,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 			return res.Outcome, nil
 		}
 	case "srpt":
-		opt := srpt.Options{ParallelDispatch: parallel, SizeHint: r.Jobs()}
+		opt := srpt.Options{ParallelDispatch: parallel, SizeHint: r.Jobs(), EventQueue: eventq}
 		var s *srpt.Session
 		var err error
 		if resumeFrom != nil {
@@ -401,9 +402,9 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, path, dum
 		var s *srpt.WeightedSession
 		var err error
 		if resumeFrom != nil {
-			s, err = srpt.RestoreWeighted(resumeFrom, srpt.WeightedOptions{})
+			s, err = srpt.RestoreWeighted(resumeFrom, srpt.WeightedOptions{EventQueue: eventq})
 		} else {
-			s, err = srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{SizeHint: r.Jobs()})
+			s, err = srpt.NewWeightedSession(r.Machines(), srpt.WeightedOptions{SizeHint: r.Jobs(), EventQueue: eventq})
 		}
 		if err != nil {
 			fatal(err)

@@ -66,6 +66,10 @@ type Options struct {
 	// demand — and the hint never changes outcomes. Batch Run overrides it
 	// with the instance's exact job count.
 	SizeHint int
+	// EventQueue names the engine's event-queue implementation
+	// (engine.EventQueueHeap or engine.EventQueueCalendar; empty selects the
+	// heap). Performance-only: outcomes are bit-identical either way.
+	EventQueue string
 }
 
 func (o Options) validate() error {
@@ -176,16 +180,54 @@ func newPolicy(opt Options, machines, hint int) *policy {
 	}
 	p.mach = make([]machine, machines)
 	for i := range p.mach {
-		p.mach[i] = machine{pending: ostree.NewFlat()}
+		p.mach[i] = machine{pending: ostree.NewFlatHint(pendingHint(hint, machines))}
 	}
 	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
 	p.evalFn = p.evalCur
 	return p
 }
 
+// pendingHint sizes a per-machine pending index for a run of about hint jobs
+// on the given machine count: the expected per-machine share, capped so a
+// huge run hint cannot balloon the presized arenas (pending queues drain;
+// their peak is load-, not run-length-bound).
+func pendingHint(hint, machines int) int {
+	if hint <= 0 || machines <= 0 {
+		return 0
+	}
+	h := hint / machines
+	if h > 2048 {
+		h = 2048
+	}
+	return h
+}
+
 func (p *policy) Bind(c *engine.Core) { p.c = c }
 
 func (p *policy) Close() { p.pool.Close() }
+
+// Reset returns the policy to its freshly-constructed state, retaining the
+// pending-index arenas and dual slices' capacity and reviving the dispatch
+// pool Close released (engine.ResettablePolicy; see Session recycling).
+func (p *policy) Reset() {
+	for i := range p.mach {
+		m := &p.mach[i]
+		m.pending.Reset()
+		m.runVictims, m.counter = 0, 0
+		m.remnantAcc = 0
+		m.occ, m.occLast, m.occInt = 0, 0, 0
+		m.bpTimes = m.bpTimes[:0]
+		m.bpValues = m.bpValues[:0]
+	}
+	p.snap = p.snap[:0]
+	p.ctilde = p.ctilde[:0]
+	p.lambda = p.lambda[:0]
+	p.curJob = nil
+	// The previous Result (and the Outcome inside it) was handed to the
+	// caller at Close; the recycled run records into a fresh one.
+	p.res = &Result{}
+	p.pool = dispatch.NewPool(dispatch.Workers(p.opt.ParallelDispatch, len(p.mach)), len(p.mach))
+}
 
 func (p *policy) Audit() error {
 	for i := range p.mach {

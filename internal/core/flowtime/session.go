@@ -39,7 +39,7 @@ func newSession(machines int, opt Options, hint int) (*Session, error) {
 	if opt.TrackDual && hint > 0 {
 		eh = 2*hint + machines + 1 // one C̃ exit event per job on top of arrivals
 	}
-	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventHint: eh})
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventHint: eh, EventQueue: opt.EventQueue})
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -85,6 +85,12 @@ func (s *Session) Close() (*Result, error) {
 	}
 	return res, nil
 }
+
+// Reset recycles the closed session for a fresh run, retaining every grown
+// allocation — job table, outcome arrays, pending-index arenas, event-queue
+// storage (engine.Recyclable; park it in an engine.SessionPool). The
+// recycled session behaves exactly like a new one with the same options.
+func (s *Session) Reset() error { return s.es.Reset() }
 
 // Run executes the algorithm on the instance and returns the audited
 // result. It is a thin wrapper over a Session fed the instance's job slice

@@ -157,7 +157,7 @@ func Restore(r io.Reader, opt Options) (*Session, error) {
 		return nil, err
 	}
 	var p *policy
-	es, err := engine.Restore(r, func(machines int) (engine.Policy, error) {
+	es, err := engine.RestoreOpts(r, engine.Options{EventQueue: opt.EventQueue}, func(machines int) (engine.Policy, error) {
 		p = newPolicy(opt, machines, 0)
 		return p, nil
 	})

@@ -46,7 +46,7 @@ func newSession(machines int, opt Options, hint int) (*Session, error) {
 		return nil, fmt.Errorf("speedscale: session needs at least one machine, got %d", machines)
 	}
 	p := newPolicy(opt, opt.Alpha, gamma, machines, hint)
-	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventQueue: opt.EventQueue})
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -90,6 +90,11 @@ func (s *Session) Close() (*Result, error) {
 	res.Dual = s.p.dual
 	return res, nil
 }
+
+// Reset recycles the closed session for a fresh run, retaining every grown
+// allocation (engine.Recyclable; park it in an engine.SessionPool). The
+// recycled session behaves exactly like a new one with the same options.
+func (s *Session) Reset() error { return s.es.Reset() }
 
 // Run executes the algorithm on the instance: a thin wrapper over a Session
 // fed from the instance's job slice, with Alpha resolved from the instance

@@ -190,7 +190,7 @@ func Restore(r io.Reader, opt Options) (*Session, error) {
 		return nil, fmt.Errorf("speedscale: gamma must be positive, got %v", gamma)
 	}
 	var p *spolicy
-	es, err := engine.Restore(r, func(machines int) (engine.Policy, error) {
+	es, err := engine.RestoreOpts(r, engine.Options{EventQueue: opt.EventQueue}, func(machines int) (engine.Policy, error) {
 		p = newPolicy(opt, opt.Alpha, gamma, machines, 0)
 		return p, nil
 	})

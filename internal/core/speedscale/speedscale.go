@@ -62,6 +62,10 @@ type Options struct {
 	// demand — and the hint never changes outcomes. Batch Run overrides it
 	// with the instance's exact job count.
 	SizeHint int
+	// EventQueue names the engine's event-queue implementation
+	// (engine.EventQueueHeap or engine.EventQueueCalendar; empty selects the
+	// heap). Performance-only: outcomes are bit-identical either way.
+	EventQueue string
 }
 
 // DefaultGamma returns the paper's γ(ε, α) (with the documented fallback for
@@ -167,6 +171,26 @@ func newPolicy(opt Options, alpha, gamma float64, machines, hint int) *spolicy {
 func (p *spolicy) Bind(c *engine.Core) { p.c = c }
 
 func (p *spolicy) Close() { p.pool.Close() }
+
+// Reset returns the policy to its freshly-constructed state, retaining the
+// pending slices' capacity and reviving the dispatch pool Close released
+// (engine.ResettablePolicy; see Session recycling).
+func (p *spolicy) Reset() {
+	for i := range p.mach {
+		m := &p.mach[i]
+		m.pending = m.pending[:0]
+		m.victimW = 0
+		m.remTimeAcc = 0
+	}
+	p.snap = p.snap[:0]
+	p.curJob, p.curIdx = nil, 0
+	// The previous Result (and DualReport) was handed to the caller at Close.
+	p.res = &Result{Gamma: p.gamma, Alpha: p.alpha}
+	if p.opt.TrackDual {
+		p.dual = newDualReport(p.opt.Epsilon, p.alpha, p.gamma, cap(p.snap))
+	}
+	p.pool = dispatch.NewPool(dispatch.Workers(p.opt.ParallelDispatch, len(p.mach)), len(p.mach))
+}
 
 func (p *spolicy) Audit() error {
 	for i := range p.mach {

@@ -1,0 +1,86 @@
+package srpt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestCalendarQueueMatchesHeap pins the event-queue equivalence for both
+// preemptive comparators: per-machine SRPT and the migratory weighted
+// variant must produce bit-identical Results under the heap and the
+// calendar queue.
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	for n, ins := range resumeInstances() {
+		hres, err := Run(ins, Options{EventQueue: engine.EventQueueHeap})
+		if err != nil {
+			t.Fatalf("instance %d: heap: %v", n, err)
+		}
+		cres, err := Run(ins, Options{EventQueue: engine.EventQueueCalendar})
+		if err != nil {
+			t.Fatalf("instance %d: calendar: %v", n, err)
+		}
+		if !reflect.DeepEqual(cres, hres) {
+			t.Fatalf("instance %d: srpt calendar result differs from heap", n)
+		}
+		hw, err := RunWeighted(ins, WeightedOptions{EventQueue: engine.EventQueueHeap})
+		if err != nil {
+			t.Fatalf("instance %d: wsrpt heap: %v", n, err)
+		}
+		cw, err := RunWeighted(ins, WeightedOptions{EventQueue: engine.EventQueueCalendar})
+		if err != nil {
+			t.Fatalf("instance %d: wsrpt calendar: %v", n, err)
+		}
+		if !reflect.DeepEqual(cw, hw) {
+			t.Fatalf("instance %d: wsrpt calendar result differs from heap", n)
+		}
+	}
+}
+
+// TestCrossQueueSnapshotResume snapshots a preemption-dense run under one
+// queue implementation and resumes under the other; banked remainders and
+// the conservation audit must survive both directions bit-for-bit.
+func TestCrossQueueSnapshotResume(t *testing.T) {
+	impls := []string{engine.EventQueueHeap, engine.EventQueueCalendar}
+	for n, ins := range resumeInstances() {
+		batch, err := Run(ins, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: batch: %v", n, err)
+		}
+		for _, donorQ := range impls {
+			for _, heirQ := range impls {
+				cut := len(ins.Jobs) / 2
+				donor, err := NewSession(ins.Machines, Options{EventQueue: donorQ})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := donor.FeedBatch(ins.Jobs[:cut]); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := donor.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := donor.Close(); err != nil {
+					t.Fatal(err)
+				}
+				heir, err := Restore(&buf, Options{EventQueue: heirQ})
+				if err != nil {
+					t.Fatalf("instance %d: restore %s snapshot under %s: %v", n, donorQ, heirQ, err)
+				}
+				if err := heir.FeedBatch(ins.Jobs[cut:]); err != nil {
+					t.Fatal(err)
+				}
+				res, err := heir.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, batch) {
+					t.Fatalf("instance %d: %s→%s resume diverged from the uninterrupted run", n, donorQ, heirQ)
+				}
+			}
+		}
+	}
+}

@@ -32,7 +32,7 @@ func newSession(machines int, opt Options, hint int) (*Session, error) {
 		hint = 0
 	}
 	p := newPolicy(opt, machines)
-	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventQueue: opt.EventQueue})
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -76,6 +76,11 @@ func (s *Session) Close() (*Result, error) {
 	return res, nil
 }
 
+// Reset recycles the closed session for a fresh run, retaining every grown
+// allocation (engine.Recyclable; park it in an engine.SessionPool). The
+// recycled session behaves exactly like a new one with the same options.
+func (s *Session) Reset() error { return s.es.Reset() }
+
 // Run executes per-machine preemptive SRPT on the instance. It is a thin
 // wrapper over a Session fed the instance's job slice in one batch, with
 // storage preallocated for the known size.
@@ -108,7 +113,7 @@ func NewWeightedSession(machines int, opt WeightedOptions) (*WeightedSession, er
 	return newWeightedSession(machines, opt, opt.SizeHint)
 }
 
-func newWeightedSession(machines int, _ WeightedOptions, hint int) (*WeightedSession, error) {
+func newWeightedSession(machines int, opt WeightedOptions, hint int) (*WeightedSession, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("srpt: session needs at least one machine, got %d", machines)
 	}
@@ -121,7 +126,7 @@ func newWeightedSession(machines int, _ WeightedOptions, hint int) (*WeightedSes
 		p.pmin = make([]float64, 0, hint)
 		p.lastMach = make([]int32, 0, hint)
 	}
-	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventQueue: opt.EventQueue})
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +165,10 @@ func (s *WeightedSession) Close() (*WeightedResult, error) {
 	res.Outcome = out
 	return res, nil
 }
+
+// Reset recycles the closed weighted session for a fresh run, retaining
+// every grown allocation (engine.Recyclable).
+func (s *WeightedSession) Reset() error { return s.es.Reset() }
 
 // RunWeighted executes the migratory weighted-SRPT comparator on the
 // instance via a hinted streaming session, like Run.

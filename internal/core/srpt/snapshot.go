@@ -77,7 +77,7 @@ func (s *Session) Snapshot(w io.Writer) error { return s.es.Snapshot(w) }
 // opt.ParallelDispatch is performance-only and may differ from the donor's.
 func Restore(r io.Reader, opt Options) (*Session, error) {
 	var p *policy
-	es, err := engine.Restore(r, func(machines int) (engine.Policy, error) {
+	es, err := engine.RestoreOpts(r, engine.Options{EventQueue: opt.EventQueue}, func(machines int) (engine.Policy, error) {
 		p = newPolicy(opt, machines)
 		return p, nil
 	})
@@ -171,9 +171,9 @@ func (s *WeightedSession) Snapshot(w io.Writer) error { return s.es.Snapshot(w) 
 
 // RestoreWeighted reconstructs a streaming migratory weighted-SRPT session
 // from a snapshot written by WeightedSession.Snapshot.
-func RestoreWeighted(r io.Reader, _ WeightedOptions) (*WeightedSession, error) {
+func RestoreWeighted(r io.Reader, opt WeightedOptions) (*WeightedSession, error) {
 	var p *wpolicy
-	es, err := engine.Restore(r, func(machines int) (engine.Policy, error) {
+	es, err := engine.RestoreOpts(r, engine.Options{EventQueue: opt.EventQueue}, func(machines int) (engine.Policy, error) {
 		p = newWPolicy()
 		return p, nil
 	})

@@ -51,6 +51,10 @@ type Options struct {
 	// demand — and the hint never changes outcomes. Batch Run overrides it
 	// with the instance's exact job count.
 	SizeHint int
+	// EventQueue names the engine's event-queue implementation
+	// (engine.EventQueueHeap or engine.EventQueueCalendar; empty selects the
+	// heap). Performance-only: outcomes are bit-identical either way.
+	EventQueue string
 }
 
 // Result is the audited output of a run.
@@ -68,6 +72,7 @@ type machine struct {
 // policy implements engine.Policy with per-machine preemptive SRPT.
 type policy struct {
 	c      *engine.Core
+	opt    Options
 	res    *Result
 	mach   []machine
 	pool   *dispatch.Pool
@@ -77,7 +82,7 @@ type policy struct {
 }
 
 func newPolicy(opt Options, machines int) *policy {
-	p := &policy{res: &Result{}}
+	p := &policy{opt: opt, res: &Result{}}
 	p.mach = make([]machine, machines)
 	for i := range p.mach {
 		p.mach[i] = machine{waiting: ostree.New(uint64(0x5e11) + uint64(i))}
@@ -90,6 +95,19 @@ func newPolicy(opt Options, machines int) *policy {
 func (p *policy) Bind(c *engine.Core) { p.c = c }
 
 func (p *policy) Close() { p.pool.Close() }
+
+// Reset returns the policy to its freshly-constructed state: each waiting
+// treap empties into its node arena and reseeds with its original per-machine
+// seed, so a recycled run's tree shapes — and decisions — are exactly a new
+// policy's (engine.ResettablePolicy; see Session recycling).
+func (p *policy) Reset() {
+	for i := range p.mach {
+		p.mach[i].waiting.Reset(uint64(0x5e11) + uint64(i))
+	}
+	p.curJob, p.curT = nil, 0
+	p.res = &Result{} // the previous Result was handed to the caller at Close
+	p.pool = dispatch.NewPool(dispatch.Workers(p.opt.ParallelDispatch, len(p.mach)), len(p.mach))
+}
 
 func (p *policy) Audit() error {
 	for i := range p.mach {

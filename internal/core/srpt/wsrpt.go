@@ -18,6 +18,10 @@ type WeightedOptions struct {
 	// demand — and the hint never changes outcomes. Batch RunWeighted
 	// overrides it with the instance's exact job count.
 	SizeHint int
+	// EventQueue names the engine's event-queue implementation
+	// (engine.EventQueueHeap or engine.EventQueueCalendar; empty selects the
+	// heap). Performance-only: outcomes are bit-identical either way.
+	EventQueue string
 }
 
 // WeightedResult is the audited output of a migratory weighted-SRPT run.
@@ -69,6 +73,18 @@ func newWPolicy() *wpolicy {
 func (p *wpolicy) Bind(c *engine.Core) { p.c = c }
 
 func (p *wpolicy) Close() {}
+
+// Reset returns the policy to its freshly-constructed state: the global
+// density pool empties into its node arena and reseeds with the original
+// seed, and the dense per-job slices truncate in place
+// (engine.ResettablePolicy; see WeightedSession recycling).
+func (p *wpolicy) Reset() {
+	p.pending.Reset(0x3197)
+	p.frac = p.frac[:0]
+	p.pmin = p.pmin[:0]
+	p.lastMach = p.lastMach[:0]
+	p.res = &WeightedResult{} // the previous Result was handed out at Close
+}
 
 func (p *wpolicy) Audit() error {
 	if n := p.pending.Len(); n != 0 {

@@ -33,8 +33,8 @@ func newSession(machines int, opt Options, hint int) (*Session, error) {
 	if machines <= 0 {
 		return nil, fmt.Errorf("wflow: session needs at least one machine, got %d", machines)
 	}
-	p := newPolicy(opt, machines)
-	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint})
+	p := newPolicy(opt, machines, hint)
+	es, err := engine.NewSession(p, engine.Options{Machines: machines, SizeHint: hint, EventQueue: opt.EventQueue})
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -77,6 +77,11 @@ func (s *Session) Close() (*Result, error) {
 	res.Outcome = out
 	return res, nil
 }
+
+// Reset recycles the closed session for a fresh run, retaining every grown
+// allocation (engine.Recyclable; park it in an engine.SessionPool). The
+// recycled session behaves exactly like a new one with the same options.
+func (s *Session) Reset() error { return s.es.Reset() }
 
 // Run executes the weighted extension on the instance: a thin wrapper over
 // a Session fed the instance's job slice in one batch.

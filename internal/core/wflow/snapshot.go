@@ -95,8 +95,8 @@ func Restore(r io.Reader, opt Options) (*Session, error) {
 		return nil, fmt.Errorf("wflow: epsilon must be in (0,1), got %v", opt.Epsilon)
 	}
 	var p *wpolicy
-	es, err := engine.Restore(r, func(machines int) (engine.Policy, error) {
-		p = newPolicy(opt, machines)
+	es, err := engine.RestoreOpts(r, engine.Options{EventQueue: opt.EventQueue}, func(machines int) (engine.Policy, error) {
+		p = newPolicy(opt, machines, 0)
 		return p, nil
 	})
 	if err != nil {

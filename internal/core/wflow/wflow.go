@@ -55,6 +55,10 @@ type Options struct {
 	// demand — and the hint never changes outcomes. Batch Run overrides it
 	// with the instance's exact job count.
 	SizeHint int
+	// EventQueue names the engine's event-queue implementation
+	// (engine.EventQueueHeap or engine.EventQueueCalendar; empty selects the
+	// heap). Performance-only: outcomes are bit-identical either way.
+	EventQueue string
 }
 
 // Result is the audited output of a run.
@@ -91,13 +95,13 @@ type wpolicy struct {
 	evalFn func(int) float64 // evalCur bound once per run (a method value allocates)
 }
 
-func newPolicy(opt Options, machines int) *wpolicy {
+func newPolicy(opt Options, machines, hint int) *wpolicy {
 	p := &wpolicy{opt: opt, res: &Result{}}
 	p.mach = make([]wmachine, machines)
 	for i := range p.mach {
 		p.mach[i] = wmachine{
-			pending: ostree.NewFlat(),
-			byProc:  ostree.NewFlat(),
+			pending: ostree.NewFlatHint(pendingHint(hint, machines)),
+			byProc:  ostree.NewFlatHint(pendingHint(hint, machines)),
 		}
 	}
 	p.pool = dispatch.NewPool(dispatch.Workers(opt.ParallelDispatch, machines), machines)
@@ -105,9 +109,38 @@ func newPolicy(opt Options, machines int) *wpolicy {
 	return p
 }
 
+// pendingHint sizes a per-machine pending index for a run of about hint
+// jobs: the expected per-machine share, capped because pending queues drain
+// (their peak is load-bound, not run-length-bound).
+func pendingHint(hint, machines int) int {
+	if hint <= 0 || machines <= 0 {
+		return 0
+	}
+	h := hint / machines
+	if h > 2048 {
+		h = 2048
+	}
+	return h
+}
+
 func (p *wpolicy) Bind(c *engine.Core) { p.c = c }
 
 func (p *wpolicy) Close() { p.pool.Close() }
+
+// Reset returns the policy to its freshly-constructed state, retaining both
+// pending indexes' arenas and reviving the dispatch pool Close released
+// (engine.ResettablePolicy; see Session recycling).
+func (p *wpolicy) Reset() {
+	for i := range p.mach {
+		m := &p.mach[i]
+		m.pending.Reset()
+		m.byProc.Reset()
+		m.victimW, m.counterW = 0, 0
+	}
+	p.curJob = nil
+	p.res = &Result{} // the previous Result was handed to the caller at Close
+	p.pool = dispatch.NewPool(dispatch.Workers(p.opt.ParallelDispatch, len(p.mach)), len(p.mach))
+}
 
 func (p *wpolicy) Audit() error {
 	for i := range p.mach {

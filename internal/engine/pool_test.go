@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// Reset returns the fifo test policy to its freshly-constructed state so
+// pool tests can recycle sessions built around it (ResettablePolicy).
+func (p *fifoPolicy) Reset() {
+	for i := range p.queues {
+		p.queues[i] = p.queues[i][:0]
+	}
+	for i := range p.victims {
+		p.victims[i] = 0
+	}
+	p.rejected = p.rejected[:0]
+	p.bookkept = p.bookkept[:0]
+}
+
+var _ ResettablePolicy = (*fifoPolicy)(nil)
+
+// poolJobs is a small deterministic stream exercising completions, idles and
+// (with rejectAfter > 0) interrupted rejections.
+func poolJobs() []sched.Job {
+	jobs := make([]sched.Job, 0, 40)
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, job(i, float64(i)*0.3, 1+float64(i%5), 2+float64(i%3)))
+	}
+	return jobs
+}
+
+func runOnce(t *testing.T, s *Session) *sched.Outcome {
+	t.Helper()
+	for _, j := range poolJobs() {
+		if err := s.Feed(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSessionResetEquivalence is the recycling golden test: a closed session
+// reset and re-fed the same stream must produce an outcome bit-identical to
+// its own first run and to a session built fresh — reset is a recycled
+// construction, never a behavior change.
+func TestSessionResetEquivalence(t *testing.T) {
+	s, err := NewSession(newFifo(2, 3), Options{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := runOnce(t, s)
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	second := runOnce(t, s)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("recycled session outcome differs from its first run")
+	}
+	fresh, err := NewSession(newFifo(2, 3), Options{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runOnce(t, fresh), first) {
+		t.Fatal("recycled session outcome differs from a fresh session's")
+	}
+}
+
+func TestSessionResetRequiresClose(t *testing.T) {
+	s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err == nil {
+		t.Fatal("Reset of a live session must fail")
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset after Close: %v", err)
+	}
+}
+
+func TestSessionPoolSemantics(t *testing.T) {
+	pool := NewSessionPool(2)
+	if got := pool.Get("k"); got != nil {
+		t.Fatalf("Get on an empty pool returned %v", got)
+	}
+	mk := func() *Session {
+		s, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, c := mk(), mk(), mk()
+	if err := pool.Put("k", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put("k", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put("k", c); err != nil {
+		t.Fatalf("Put beyond capacity resets and drops, never errors: %v", err)
+	}
+	if n := pool.Idle("k"); n != 2 {
+		t.Fatalf("Idle = %d, want 2 (perKey cap)", n)
+	}
+	got := pool.Get("k")
+	if got != Recyclable(a) && got != Recyclable(b) {
+		t.Fatal("Get returned a session never retained")
+	}
+	if pool.Get("other") != nil {
+		t.Fatal("keys must not alias")
+	}
+
+	// A session that cannot reset (still live) is discarded, not pooled.
+	live, err := NewSession(newFifo(1, 0), Options{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put("live", live); err == nil {
+		t.Fatal("Put of a still-open session must fail")
+	}
+	if n := pool.Idle("live"); n != 0 {
+		t.Fatalf("discarded session still idles in the pool (%d)", n)
+	}
+}
+
+// TestSessionPoolConcurrentRotation is the race target of the CI -race job:
+// many goroutines churn sessions through one shared pool — Get (or build on
+// a miss), run a stream, Close, Put — the shard-rotation pattern of a
+// long-lived server restarting sessions between runs. Every generation's
+// outcome must match the reference run regardless of which goroutine's
+// recycled session served it.
+func TestSessionPoolConcurrentRotation(t *testing.T) {
+	ref, err := NewSession(newFifo(2, 3), Options{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOnce(t, ref)
+
+	pool := NewSessionPool(4)
+	const workers, gens = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := 0; g < gens; g++ {
+				s, _ := pool.Get("rot").(*Session)
+				if s == nil {
+					var err error
+					s, err = NewSession(newFifo(2, 3), Options{Machines: 2})
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+				for _, j := range poolJobs() {
+					if err := s.Feed(j); err != nil {
+						errs <- err
+						return
+					}
+				}
+				out, err := s.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(out, want) {
+					errs <- fmt.Errorf("worker outcome diverged from the reference")
+					return
+				}
+				pool.Put("rot", s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

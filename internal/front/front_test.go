@@ -530,6 +530,7 @@ func TestHTTPRefusals(t *testing.T) {
 func BenchmarkServerIngest(b *testing.B) {
 	cfg := testConfig(2, 2)
 	cfg.QueueDepth = 512
+	cfg.SizeHint = b.N // hints never change outcomes; they only presize per-job state
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)

@@ -25,24 +25,39 @@ type session interface {
 }
 
 // policySession pairs a live scheduler session with the policy-specific
-// close, erased to the shared Outcome.
+// close, erased to the shared Outcome, plus the recycle hook that parks the
+// closed session in an engine.SessionPool for the next server generation.
 type policySession struct {
 	session
 	finish func() (*sched.Outcome, error)
+	reset  func() error
 }
+
+// Reset recycles the closed session for a fresh run (engine.Recyclable).
+func (ps *policySession) Reset() error { return ps.reset() }
 
 // servePolicies names the session-backed policies the front door can host.
 const servePolicies = "flowtime|wflow|speedscale|srpt|wsrpt"
+
+// sessionKey is the pool key of a session shape: every construction
+// parameter that could change outcomes (policy, machine count, ε, α, event
+// queue) is folded in, so a pooled session can only ever be recycled into a
+// server whose runs it is bit-identical for. Size hints and dispatch
+// parallelism are performance-only and deliberately excluded.
+func sessionKey(policy string, machines int, eps, alpha float64, eventQueue string) string {
+	return fmt.Sprintf("%s/m=%d/eps=%g/alpha=%g/q=%s", policy, machines, eps, alpha, eventQueue)
+}
 
 // buildSession constructs (restore == nil) or restores (restore != nil) one
 // shard's scheduler session. Dispatch runs sequentially inside each session:
 // the shard fleet is the parallelism. sizeHint preallocates per-job storage
 // for a stream of about that many jobs (0 grows on demand); restores ignore
-// it — a restored session sizes itself from the snapshot.
-func buildSession(policy string, machines int, eps, alpha float64, sizeHint int, restore io.Reader) (*policySession, error) {
+// it — a restored session sizes itself from the snapshot. eventQueue selects
+// the engine's event-queue implementation (performance-only; "" is the heap).
+func buildSession(policy string, machines int, eps, alpha float64, sizeHint int, eventQueue string, restore io.Reader) (*policySession, error) {
 	switch policy {
 	case "flowtime":
-		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint}
+		opt := flowtime.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint, EventQueue: eventQueue}
 		var s *flowtime.Session
 		var err error
 		if restore != nil {
@@ -53,7 +68,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 		if err != nil {
 			return nil, err
 		}
-		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+		return &policySession{session: s, reset: s.Reset, finish: func() (*sched.Outcome, error) {
 			res, err := s.Close()
 			if err != nil {
 				return nil, err
@@ -61,7 +76,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 			return res.Outcome, nil
 		}}, nil
 	case "wflow":
-		opt := wflow.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint}
+		opt := wflow.Options{Epsilon: eps, ParallelDispatch: 1, SizeHint: sizeHint, EventQueue: eventQueue}
 		var s *wflow.Session
 		var err error
 		if restore != nil {
@@ -72,7 +87,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 		if err != nil {
 			return nil, err
 		}
-		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+		return &policySession{session: s, reset: s.Reset, finish: func() (*sched.Outcome, error) {
 			res, err := s.Close()
 			if err != nil {
 				return nil, err
@@ -80,7 +95,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 			return res.Outcome, nil
 		}}, nil
 	case "speedscale":
-		opt := speedscale.Options{Epsilon: eps, Alpha: alpha, ParallelDispatch: 1, SizeHint: sizeHint}
+		opt := speedscale.Options{Epsilon: eps, Alpha: alpha, ParallelDispatch: 1, SizeHint: sizeHint, EventQueue: eventQueue}
 		var s *speedscale.Session
 		var err error
 		if restore != nil {
@@ -91,7 +106,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 		if err != nil {
 			return nil, err
 		}
-		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+		return &policySession{session: s, reset: s.Reset, finish: func() (*sched.Outcome, error) {
 			res, err := s.Close()
 			if err != nil {
 				return nil, err
@@ -99,7 +114,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 			return res.Outcome, nil
 		}}, nil
 	case "srpt":
-		opt := srpt.Options{ParallelDispatch: 1, SizeHint: sizeHint}
+		opt := srpt.Options{ParallelDispatch: 1, SizeHint: sizeHint, EventQueue: eventQueue}
 		var s *srpt.Session
 		var err error
 		if restore != nil {
@@ -110,7 +125,7 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 		if err != nil {
 			return nil, err
 		}
-		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+		return &policySession{session: s, reset: s.Reset, finish: func() (*sched.Outcome, error) {
 			res, err := s.Close()
 			if err != nil {
 				return nil, err
@@ -121,14 +136,14 @@ func buildSession(policy string, machines int, eps, alpha float64, sizeHint int,
 		var s *srpt.WeightedSession
 		var err error
 		if restore != nil {
-			s, err = srpt.RestoreWeighted(restore, srpt.WeightedOptions{})
+			s, err = srpt.RestoreWeighted(restore, srpt.WeightedOptions{EventQueue: eventQueue})
 		} else {
-			s, err = srpt.NewWeightedSession(machines, srpt.WeightedOptions{SizeHint: sizeHint})
+			s, err = srpt.NewWeightedSession(machines, srpt.WeightedOptions{SizeHint: sizeHint, EventQueue: eventQueue})
 		}
 		if err != nil {
 			return nil, err
 		}
-		return &policySession{session: s, finish: func() (*sched.Outcome, error) {
+		return &policySession{session: s, reset: s.Reset, finish: func() (*sched.Outcome, error) {
 			res, err := s.Close()
 			if err != nil {
 				return nil, err

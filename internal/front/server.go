@@ -83,6 +83,20 @@ type Config struct {
 
 	SizeHint int // expected total jobs across all streams (split per shard via engine.PerShardHint; 0 grows on demand; never changes outcomes)
 
+	// EventQueue names the engine's event-queue implementation for every
+	// shard session (engine.EventQueueHeap or engine.EventQueueCalendar;
+	// empty selects the heap). Performance-only: reports are bit-identical
+	// either way.
+	EventQueue string
+
+	// Pool, when non-nil, recycles shard sessions across server generations:
+	// New draws warm sessions from it (keyed by every outcome-relevant
+	// construction parameter, so a hit is bit-identical to a fresh build) and
+	// a successful Drain parks the closed sessions back. Restores always
+	// build from the snapshot and bypass the pool on the way in, but still
+	// park their sessions on the way out. Performance-only.
+	Pool *engine.SessionPool
+
 	CheckpointPath  string // durable snapshot path ("" disables checkpointing)
 	CheckpointEvery int    // fed jobs between periodic checkpoints (0: final only)
 
@@ -193,9 +207,16 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 	}
 	sessions := restored
 	if sessions == nil {
+		key := sessionKey(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, cfg.EventQueue)
 		sessions = make([]*policySession, cfg.Shards)
 		for k := range sessions {
-			sessions[k], err = buildSession(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, engine.PerShardHint(cfg.SizeHint, cfg.Shards), nil)
+			if cfg.Pool != nil {
+				if ps, ok := cfg.Pool.Get(key).(*policySession); ok {
+					sessions[k] = ps
+					continue
+				}
+			}
+			sessions[k], err = buildSession(cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha, engine.PerShardHint(cfg.SizeHint, cfg.Shards), cfg.EventQueue, nil)
 			if err != nil {
 				for _, s := range sessions[:k] {
 					s.finish()
@@ -221,7 +242,7 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 		fleet:    engine.NewShardOpts(feeders, engine.ShardOptions{Route: route}),
 		sessions: sessions,
 		adm:      adm,
-		decided:  make(map[int]struct{}),
+		decided:  make(map[int]struct{}, cfg.SizeHint),
 		drained:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -549,6 +570,15 @@ func (s *Server) Drain() (*Report, error) {
 // shutdown runs on the sequencer goroutine after the last stream is reaped.
 func (s *Server) shutdown() {
 	rep, err := s.buildReport()
+	if err == nil && s.cfg.Pool != nil {
+		// The report is frozen and every session closed; park them for the
+		// next server generation. Put resets each session (dropping any whose
+		// reset fails) so a pool hit is indistinguishable from a fresh build.
+		key := sessionKey(s.cfg.Policy, s.cfg.Machines, s.cfg.Epsilon, s.cfg.Alpha, s.cfg.EventQueue)
+		for _, ps := range s.sessions {
+			s.cfg.Pool.Put(key, ps)
+		}
+	}
 	s.mu.Lock()
 	s.report, s.repErr = rep, err
 	s.mu.Unlock()

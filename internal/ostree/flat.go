@@ -86,6 +86,40 @@ type groupMeta struct {
 // sequence.
 func NewFlat() *Flat { return &Flat{} }
 
+// NewFlatHint returns an empty flat index with the leaf arena and summary
+// slices presized for about hint elements, replacing the doubling-growth
+// allocations of a cold index with one sized allocation per slice. The hint
+// is advisory and never changes query results.
+func NewFlatHint(hint int) *Flat {
+	if hint <= 0 {
+		return &Flat{}
+	}
+	// Leaves split at leafCap and refill to half, so a steady-state index
+	// holds ~2n/leafCap leaves; +2 covers the tiny-index floor.
+	nl := 2*hint/leafCap + 2
+	ng := nl/groupCap + 2
+	return &Flat{
+		leaves: make([]flatLeaf, 0, nl),
+		order:  make([]int32, 0, nl),
+		metas:  make([]leafMeta, 0, nl),
+		groups: make([]groupMeta, 0, ng),
+	}
+}
+
+// Reset empties the index for a fresh run, retaining the leaf arena, the
+// summary slices and the free list's capacity. Unlike the treap no seed is
+// involved: the structure is a pure function of the operation sequence, so a
+// recycled index is indistinguishable from a new one.
+func (f *Flat) Reset() {
+	f.leaves = f.leaves[:0]
+	f.order = f.order[:0]
+	f.metas = f.metas[:0]
+	f.groups = f.groups[:0]
+	f.free = f.free[:0]
+	f.n = 0
+	f.sumP, f.sumA, f.sumB = 0, 0, 0
+}
+
 // Len reports the number of stored elements.
 func (f *Flat) Len() int { return f.n }
 
