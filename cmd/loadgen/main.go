@@ -10,6 +10,14 @@
 //	loadgen -server ... -kills 2 -truncations 1 -window 500      # client faults
 //	loadgen -server ... -drain -report-out report.json           # drain + audit
 //	loadgen -server ... -no-feed -drain -report-out after.json   # drain only
+//	loadgen -server ... -no-feed -resize-to 3                    # fleet resize
+//	loadgen -server ... -id-base 10000 -release-base 1e6         # later phase
+//
+// Multi-phase runs across a resize boundary compose from these: phase one
+// feeds, a -resize-to call regrows the fleet, phase two feeds with -id-base
+// and -release-base lifted above phase one (distinct ids, releases past the
+// merge watermark), and the final -drain audit checks conservation over both
+// phases plus -expect-shards against the report's live count and history.
 //
 // With -drain the exit status is the audit: 0 only if the drained report
 // balances — every submitted job fed or pre-rejected, every fed job
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -51,15 +60,23 @@ func main() {
 		window   = flag.Int("window", 200, "inject each fault within this many jobs of stream start")
 		attempts = flag.Int("max-attempts", 32, "per tenant: connection attempt budget")
 
+		idBase   = flag.Int("id-base", 0, "add this to every tenant-local job id (later phases of a multi-phase run)")
+		relBase  = flag.Float64("release-base", 0, "add this to every release time (lift a later phase past the merge watermark)")
+		resizeTo = flag.Int("resize-to", 0, "after feeding, resize the server's shard fleet to this count (0: no resize)")
+
 		wait      = flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before feeding")
 		noFeed    = flag.Bool("no-feed", false, "skip feeding (use with -drain to audit a server fed earlier)")
 		drain     = flag.Bool("drain", false, "drain the server afterwards and audit the final report")
 		reportOut = flag.String("report-out", "", "write the drained report JSON here (requires -drain)")
+		expShards = flag.Int("expect-shards", 0, "audit: the drained report must show this live shard count (requires -drain)")
 		verbose   = flag.Bool("v", false, "log per-tenant progress")
 	)
 	flag.Parse()
 	if *reportOut != "" && !*drain {
 		fatal(fmt.Errorf("-report-out needs -drain"))
+	}
+	if *expShards > 0 && !*drain {
+		fatal(fmt.Errorf("-expect-shards needs -drain"))
 	}
 
 	ctx := context.Background()
@@ -76,6 +93,10 @@ func main() {
 			c := workload.DefaultConfig(*jobs, *machines, *seed+int64(t))
 			c.Load = *load
 			trace := workload.Random(c).Jobs
+			for k := range trace {
+				trace[k].ID += *idBase
+				trace[k].Release += *relBase
+			}
 			cl := &chaos.Client{
 				Server:      *server,
 				Tenant:      t,
@@ -113,6 +134,14 @@ func main() {
 		}
 	}
 
+	if *resizeTo > 0 {
+		raw, err := chaos.Resize(ctx, nil, *server, *resizeTo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: resized: %s\n", bytes.TrimSpace(raw))
+	}
+
 	if !*drain {
 		return
 	}
@@ -143,6 +172,12 @@ func main() {
 	if rep.Completed+rep.Rejected != rep.Fed {
 		fail("fed %d but completed %d + rejected %d — the fleet dropped jobs",
 			rep.Fed, rep.Completed, rep.Rejected)
+	}
+	if *expShards > 0 && rep.Shards != *expShards {
+		fail("report shows %d shards (history %v), expected %d", rep.Shards, rep.ShardHistory, *expShards)
+	}
+	if n := len(rep.ShardHistory); n == 0 || rep.ShardHistory[n-1] != rep.Shards {
+		fail("shard history %v does not end at the live count %d", rep.ShardHistory, rep.Shards)
 	}
 	acfg := admission.Config{Epsilon: rep.AdmissionEpsilon, Burst: rep.AdmissionBurst}
 	for _, tr := range rep.Tenants {

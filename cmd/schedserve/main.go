@@ -8,6 +8,8 @@
 //	schedserve -listen :8080 -policy flowtime -eps 0.2 -machines 8 -shards 4
 //	schedserve -listen :8080 -throttle-depth 2048 -reject-depth 8192 -adm-eps 0.2
 //	schedserve -listen :8080 -checkpoint serve.snap -checkpoint-every 50000
+//	schedserve -listen :8080 -checkpoint serve.ck -checkpoint-every 50000 \
+//	           -checkpoint-deltas 8 -checkpoint-keep 3   # delta lineage mode
 //	schedserve -listen :8080 -resume serve.snap               # after a crash
 //	schedserve -listen :8080 -stall-every 64 -stall-delay 2ms # fault injection
 //
@@ -16,8 +18,14 @@
 //
 //	POST /v1/feed?tenant=T   NDJSON jobs in, NDJSON acks out (streaming)
 //	POST /v1/drain           drain the fleet, respond with the final report
+//	POST /v1/resize?shards=K crash-safe fleet resize (see internal/front)
 //	GET  /v1/stats           live counters
 //	GET  /healthz            readiness
+//
+// With -checkpoint-deltas/-checkpoint-keep the checkpoint path becomes a
+// delta lineage (base.N.full / base.N.delta plus a base.lineage manifest);
+// -resume detects a lineage at the path automatically and self-heals from
+// torn or bit-flipped members by falling back along the chain.
 //
 // SIGTERM or SIGINT drains gracefully: live streams are refused and aborted,
 // queued jobs get their verdicts, the fleet quiesces, a final checkpoint is
@@ -28,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,6 +51,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/front"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -67,12 +77,15 @@ func main() {
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline on feed connections")
 		throttleDelay = flag.Duration("throttle-delay", time.Millisecond, "per-job intake delay while throttling")
 
-		ckpt   = flag.String("checkpoint", "", "write durable snapshots to this file")
-		ckptN  = flag.Int("checkpoint-every", 0, "checkpoint every N fed jobs (0: final drain only)")
-		resume = flag.String("resume", "", "restore the server from this snapshot before serving")
+		ckpt       = flag.String("checkpoint", "", "write durable snapshots to this file")
+		ckptN      = flag.Int("checkpoint-every", 0, "checkpoint every N fed jobs (0: final drain only)")
+		ckptDeltas = flag.Int("checkpoint-deltas", 0, "lineage mode: up to N delta checkpoints between fulls (0: single-file snapshots)")
+		ckptKeep   = flag.Int("checkpoint-keep", 0, "lineage mode: retain only the newest N full generations (0: keep all)")
+		resume     = flag.String("resume", "", "restore the server from this snapshot (or checkpoint lineage) before serving")
 
-		stallEvery = flag.Int("stall-every", 0, "fault injection: stall each shard feeder every N jobs (0 disables)")
-		stallDelay = flag.Duration("stall-delay", 0, "fault injection: stall duration")
+		stallEvery    = flag.Int("stall-every", 0, "fault injection: stall each shard feeder every N jobs (0 disables)")
+		stallDelay    = flag.Duration("stall-delay", 0, "fault injection: stall duration")
+		crashAtResize = flag.String("crash-at-resize", "", "fault injection: exit 137 at this resize point (pre|mid|post)")
 	)
 	flag.Parse()
 
@@ -96,9 +109,12 @@ func main() {
 		AwaitTenants:    *awaitTenants,
 		ReadTimeout:     *readTimeout,
 		ThrottleDelay:   *throttleDelay,
-		CheckpointPath:  *ckpt,
-		CheckpointEvery: *ckptN,
-		Stall:           chaos.Stall{Every: *stallEvery, Delay: *stallDelay},
+		CheckpointPath:   *ckpt,
+		CheckpointEvery:  *ckptN,
+		CheckpointDeltas: *ckptDeltas,
+		CheckpointKeep:   *ckptKeep,
+		Stall:            chaos.Stall{Every: *stallEvery, Delay: *stallDelay},
+		CrashAtResize:    *crashAtResize,
 	}
 
 	var (
@@ -106,12 +122,27 @@ func main() {
 		err error
 	)
 	if *resume != "" {
-		f, ferr := os.Open(*resume)
-		if ferr != nil {
-			fatal(ferr)
+		if snapshot.LineageExists(*resume) {
+			// The path names a checkpoint lineage: recover the newest intact
+			// payload, falling back along the chain past torn or corrupt
+			// members, and restore from the reassembled bytes.
+			payload, info, rerr := snapshot.RecoverLineage(*resume)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			if info.FellBack {
+				fmt.Fprintf(os.Stderr, "schedserve: lineage fell back to seq %d (%d newer checkpoints dropped as corrupt)\n",
+					info.Seq, info.Dropped)
+			}
+			srv, err = front.Restore(cfg, bytes.NewReader(payload))
+		} else {
+			f, ferr := os.Open(*resume)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			srv, err = front.Restore(cfg, f)
+			f.Close()
 		}
-		srv, err = front.Restore(cfg, f)
-		f.Close()
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "schedserve: resumed from %s: %d fed, %d pre-rejected\n",
 				*resume, srv.Stats().Fed, srv.Stats().PreRejected)

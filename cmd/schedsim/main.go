@@ -50,6 +50,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +68,7 @@ import (
 	"repro/internal/gantt"
 	"repro/internal/lowerbound"
 	"repro/internal/sched"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -83,6 +85,8 @@ func main() {
 		batch    = flag.Int("batch", 256, "stream ingestion batch size (1: per-job Feed path)")
 		ckpt     = flag.String("checkpoint", "", "stream mode: write session snapshots to this file")
 		ckptN    = flag.Int("checkpoint-every", 0, "stream mode: rewrite -checkpoint every N fed jobs")
+		ckptD    = flag.Int("checkpoint-deltas", 0, "stream mode: lineage checkpoints, up to N deltas between fulls (0: single-file)")
+		ckptK    = flag.Int("checkpoint-keep", 0, "stream mode: lineage retention, newest N full generations (0: keep all)")
 		stopN    = flag.Int("stop-after", 0, "stream mode: stop after about N jobs, write a final -checkpoint, exit without a report")
 		resume   = flag.String("resume", "", "stream mode: restore the session from this snapshot and skip the jobs it already absorbed")
 		compare  = flag.Bool("compare", false, "run the policy, its preemptive counterpart and the SRPT bound on the same instance")
@@ -115,15 +119,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "schedsim: -gantt needs the full instance and does not combine with -stream")
 			os.Exit(2)
 		}
-		if (*ckptN > 0 || *stopN > 0) && *ckpt == "" {
-			fmt.Fprintln(os.Stderr, "schedsim: -checkpoint-every and -stop-after need -checkpoint FILE")
+		if (*ckptN > 0 || *stopN > 0 || *ckptD > 0 || *ckptK > 0) && *ckpt == "" {
+			fmt.Fprintln(os.Stderr, "schedsim: -checkpoint-every/-checkpoint-deltas/-checkpoint-keep/-stop-after need -checkpoint FILE")
 			os.Exit(2)
 		}
 		runStream(*policy, *eps, *alpha, *parallel, *batch, *eventq, flag.Arg(0), *dump,
-			streamCheckpoints{File: *ckpt, Every: *ckptN, StopAfter: *stopN, Resume: *resume})
+			streamCheckpoints{File: *ckpt, Every: *ckptN, Deltas: *ckptD, Keep: *ckptK, StopAfter: *stopN, Resume: *resume})
 		return
 	}
-	if *ckpt != "" || *ckptN > 0 || *stopN > 0 || *resume != "" {
+	if *ckpt != "" || *ckptN > 0 || *ckptD > 0 || *ckptK > 0 || *stopN > 0 || *resume != "" {
 		fmt.Fprintln(os.Stderr, "schedsim: -checkpoint/-checkpoint-every/-stop-after/-resume only apply to -stream")
 		os.Exit(2)
 	}
@@ -266,8 +270,16 @@ type streamSession interface {
 type streamCheckpoints struct {
 	File      string // snapshot path ("" disables checkpointing)
 	Every     int    // rewrite File every this many fed jobs (0: only on StopAfter)
-	StopAfter int    // stop feeding after about this many jobs (0: run to EOF)
-	Resume    string // snapshot to restore the session from ("" starts fresh)
+	Deltas    int    // lineage mode: up to this many delta checkpoints between fulls
+	Keep      int    // lineage mode: retain only the newest N full generations
+	StopAfter int    // stop feeding after about N jobs (0: run to EOF)
+	Resume    string // snapshot or lineage to restore the session from ("" starts fresh)
+}
+
+// lineageMode reports whether File names a checkpoint lineage rather than a
+// single rewritten snapshot file.
+func (ck streamCheckpoints) lineageMode() bool {
+	return ck.File != "" && (ck.Deltas > 0 || ck.Keep > 0)
 }
 
 // runStream consumes an NDJSON trace incrementally and feeds a streaming
@@ -302,11 +314,23 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 
 	var resumeFrom io.ReadCloser
 	if ck.Resume != "" {
-		f, err := os.Open(ck.Resume)
-		if err != nil {
-			fatal(err)
+		if snapshot.LineageExists(ck.Resume) {
+			payload, info, err := snapshot.RecoverLineage(ck.Resume)
+			if err != nil {
+				fatal(err)
+			}
+			if info.FellBack {
+				fmt.Fprintf(os.Stderr, "schedsim: lineage fell back to seq %d (%d newer checkpoints dropped as corrupt)\n",
+					info.Seq, info.Dropped)
+			}
+			resumeFrom = io.NopCloser(bytes.NewReader(payload))
+		} else {
+			f, err := os.Open(ck.Resume)
+			if err != nil {
+				fatal(err)
+			}
+			resumeFrom = f
 		}
-		resumeFrom = f
 	}
 
 	var (
@@ -425,6 +449,30 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 		resumeFrom.Close()
 	}
 
+	// save freezes the session durably: single-file mode rewrites ck.File
+	// atomically; lineage mode appends a full or delta checkpoint to the
+	// chain. force pins a full — the final checkpoint of an interrupted or
+	// stopped run is a recovery anchor, never a delta.
+	var lin *snapshot.Lineage
+	if ck.lineageMode() {
+		var err error
+		lin, err = snapshot.OpenLineage(ck.File, snapshot.LineageOptions{Keep: ck.Keep, DeltaEvery: ck.Deltas})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	save := func(force bool) error {
+		if lin == nil {
+			return writeCheckpoint(ck.File, fd)
+		}
+		var buf bytes.Buffer
+		if err := fd.Snapshot(&buf); err != nil {
+			return fmt.Errorf("writing checkpoint: %w", err)
+		}
+		_, err := lin.Write(buf.Bytes(), force)
+		return err
+	}
+
 	var facts []jobFact
 	skip := fd.Fed() // jobs the restored snapshot already absorbed
 	fedHere := 0     // jobs fed by this process
@@ -441,7 +489,7 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 		select {
 		case sig := <-sigC:
 			if ck.File != "" {
-				if err := writeCheckpoint(ck.File, fd); err != nil {
+				if err := save(true); err != nil {
 					fatal(fmt.Errorf("checkpoint on %v: %w", sig, err))
 				}
 				fmt.Fprintf(os.Stderr, "schedsim: %v after %d jobs (%d absorbed in total), checkpoint at %s\n",
@@ -475,14 +523,14 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 		fedHere += len(slab)
 		sinceCkpt += len(slab)
 		if ck.File != "" && ck.Every > 0 && sinceCkpt >= ck.Every {
-			if err := writeCheckpoint(ck.File, fd); err != nil {
+			if err := save(false); err != nil {
 				fatal(err)
 			}
 			sinceCkpt = 0
 		}
 		if ck.StopAfter > 0 && fedHere >= ck.StopAfter {
 			if ck.File != "" {
-				if err := writeCheckpoint(ck.File, fd); err != nil {
+				if err := save(true); err != nil {
 					fatal(err)
 				}
 			}

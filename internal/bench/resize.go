@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core/flowtime"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E20", Kind: "table",
+		Title: "Elastic fleet: delta-vs-full checkpoint bytes + resize latency vs live-state size",
+		Claim: "robustness: chunk-diffed delta checkpoints shrink the steady-state durability write by an order of magnitude on long streams, and a K→K' fleet resize costs one drain of the live state",
+		Run:   runE20,
+	})
+}
+
+// runE20 measures the two costs the elastic-fleet work trades in.
+//
+// Delta checkpoints: a long stream checkpoints periodically; writing the
+// full snapshot every time costs bytes proportional to everything fed so
+// far, while a delta (snapshot.EncodeDelta against the previous checkpoint)
+// costs bytes proportional to what changed since. The session's dominant
+// state — the dense outcome arrays — is append-only by job id, so the
+// changed region is the tail plus the small live structures, and the
+// full/delta ratio grows with the stream. The table reports both sizes at
+// geometric points along the stream; the final row is the headline (at the
+// full-scale 1M-job point the ratio must clear 5×). Every delta is verified
+// by reapplying it to the base and comparing against the real snapshot, so
+// the size column can never be bought with a lossy diff.
+//
+// Resize latency: engine.ResizeFleet quiesces the fleet, drains every old
+// session to completion (retire), and opens fresh ones — so its latency is
+// one drain of the live state, not a function of total stream length. The
+// table reports wall time and pre-resize snapshot bytes (the live-state
+// proxy) for a 4→6 resize at growing fed counts.
+func runE20(cfg Config) (fmt.Stringer, error) {
+	n := cfg.scale(1_000_000, 20_000)
+	const m = 8
+	c := workload.DefaultConfig(n, m, 11)
+	c.Load = 1.2
+	ins := workload.Random(c)
+
+	t := stats.NewTable(fmt.Sprintf("E20 — delta checkpoints + resize latency (n=%d, m=%d, flowtime ε=0.2, chunk=%d)", n, m, snapshot.DefaultDeltaChunk),
+		"row", "jobs", "full bytes", "delta bytes", "ratio", "ok")
+
+	// Part 1: checkpoint a single hinted session at regular intervals and
+	// compare the full-snapshot byte cost against the chained-delta cost.
+	s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2, SizeHint: n})
+	if err != nil {
+		return nil, fmt.Errorf("E20: opening session: %w", err)
+	}
+	const checkpoints = 16
+	per := n / checkpoints
+	var prev, cur bytes.Buffer
+	var delta bytes.Buffer
+	fed := 0
+	for i := 1; i <= checkpoints; i++ {
+		hi := i * per
+		if i == checkpoints {
+			hi = n
+		}
+		if err := s.FeedBatch(ins.Jobs[fed:hi]); err != nil {
+			return nil, fmt.Errorf("E20: feeding: %w", err)
+		}
+		fed = hi
+		cur.Reset()
+		if err := s.Snapshot(&cur); err != nil {
+			return nil, fmt.Errorf("E20: snapshot at %d jobs: %w", fed, err)
+		}
+		if prev.Len() > 0 {
+			delta.Reset()
+			if _, err := snapshot.EncodeDelta(&delta, prev.Bytes(), cur.Bytes(), uint64(i-1), uint64(i), 0); err != nil {
+				return nil, fmt.Errorf("E20: encoding delta at %d jobs: %w", fed, err)
+			}
+			rebuilt, _, err := snapshot.ApplyDelta(prev.Bytes(), bytes.NewReader(delta.Bytes()))
+			if err != nil {
+				return nil, fmt.Errorf("E20: reapplying delta at %d jobs: %w", fed, err)
+			}
+			lossless := bytes.Equal(rebuilt, cur.Bytes())
+			ratio := float64(cur.Len()) / float64(delta.Len())
+			// Report the quartile points plus the final (headline) row.
+			if i == checkpoints || i%(checkpoints/4) == 0 {
+				row := fmt.Sprintf("ckpt %d/%d", i, checkpoints)
+				if i == checkpoints {
+					row = "ckpt final"
+				}
+				t.AddRowf(row, fed, cur.Len(), delta.Len(), ratio, okMark(lossless))
+			}
+			if !lossless {
+				return nil, fmt.Errorf("E20: delta at %d jobs does not reproduce the snapshot", fed)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	if _, err := s.Close(); err != nil {
+		return nil, fmt.Errorf("E20: closing session: %w", err)
+	}
+
+	// Part 2: resize latency. Feed a prefix into a 4-shard fleet, then time
+	// the 4→6 retire-and-replace. Outcomes are discarded — only the clock
+	// and the live-state size matter here; the resize goldens pin equality.
+	for _, frac := range []int{16, 4, 1} {
+		size := n / frac
+		el, liveBytes, err := timeResize(ins.Jobs[:size], m)
+		if err != nil {
+			return nil, fmt.Errorf("E20: resize at %d jobs: %w", size, err)
+		}
+		t.AddRowf(fmt.Sprintf("resize 4→6 @n/%d (%.1f ms)", frac, float64(el.Microseconds())/1000),
+			size, liveBytes, "-", "-", okMark(true))
+	}
+	return t, nil
+}
+
+// timeResize feeds jobs into a 4-shard flowtime fleet, snapshots one shard
+// for the live-state byte proxy, then times engine.ResizeFleet to 6 shards
+// (retire drains each old session; build opens fresh ones). Returns the
+// resize wall time and the summed pre-resize snapshot bytes.
+func timeResize(jobs []sched.Job, m int) (time.Duration, int, error) {
+	const from, to = 4, 6
+	open := func() (*flowtime.Session, error) {
+		return flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2, SizeHint: engine.PerShardHint(len(jobs), from)})
+	}
+	sessions := make([]*flowtime.Session, from)
+	feeders := make([]engine.Feeder, from)
+	for k := range sessions {
+		s, err := open()
+		if err != nil {
+			return 0, 0, err
+		}
+		sessions[k], feeders[k] = s, s
+	}
+	fleet := engine.NewShardOpts(feeders, engine.ShardOptions{})
+	if err := fleet.FeedBatch(jobs); err != nil {
+		return 0, 0, err
+	}
+	if err := fleet.Quiesce(); err != nil {
+		return 0, 0, err
+	}
+	liveBytes := 0
+	var buf bytes.Buffer
+	for _, s := range sessions {
+		buf.Reset()
+		if err := s.Snapshot(&buf); err != nil {
+			return 0, 0, err
+		}
+		liveBytes += buf.Len()
+	}
+	fresh := make([]*flowtime.Session, to)
+	start := time.Now()
+	fleet, err := engine.ResizeFleet(fleet, to, engine.ShardOptions{},
+		func(k int, _ engine.Feeder) error {
+			_, err := sessions[k].Close()
+			return err
+		},
+		func(k int) (engine.Feeder, error) {
+			s, err := open()
+			fresh[k] = s
+			return s, err
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	el := time.Since(start)
+	if err := fleet.Wait(); err != nil {
+		return 0, 0, err
+	}
+	for _, s := range fresh {
+		if _, err := s.Close(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return el, liveBytes, nil
+}

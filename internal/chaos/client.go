@@ -354,6 +354,34 @@ func Drain(ctx context.Context, httpc *http.Client, server string) ([]byte, erro
 	return b, nil
 }
 
+// Resize asks the server to resize its shard fleet and returns the raw JSON
+// response ({"shards":K,"history":[...]}). Resizing to the current count is
+// a successful no-op on the server, so retrying after an ambiguous failure
+// is safe.
+func Resize(ctx context.Context, httpc *http.Client, server string, shards int) ([]byte, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		server+"/v1/resize?shards="+strconv.Itoa(shards), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("resize: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
 // WaitReady polls the server's health endpoint until it answers, ctx
 // expires, or the timeout elapses — the loadgen's startup barrier.
 func WaitReady(ctx context.Context, httpc *http.Client, server string, timeout time.Duration) error {

@@ -1,0 +1,51 @@
+package engine
+
+import "fmt"
+
+// ResizeFleet replaces a fleet of K sessions with a fresh fleet of newShards,
+// re-splitting the *routing* — never the placed work. The paper's online
+// model makes this legal and exact: past placement is sunk cost, so a
+// resize only has to change where future jobs land, and the cleanest way to
+// do that bit-deterministically is to retire the old sessions outright and
+// open new ones.
+//
+// The old shard closes (Wait joins its workers after flushing every slab),
+// then retire runs once per old session in shard order — the caller closes
+// the session there, which drains its remaining events to completion and
+// yields its Outcome. Closing early instead of keeping prefix sessions
+// around is what makes the equivalence golden provable by construction: a
+// quiesced session's future evolution depends only on its own state (no
+// future job will ever route to it — the new fleet takes the whole suffix),
+// simulation time is virtual so "running the prefix to completion" costs
+// one drain, and the suffix then plays out on sessions indistinguishable
+// from a fleet born at newShards.
+//
+// build runs once per new shard index and returns the feeder for it; the
+// new Shard starts with the supplied options (the caller re-attaches its
+// route — routes take the live lane count, so the same RouteFunc re-splits
+// over newShards with no changes). On any retire/build error the fleet is
+// left closed and the error returned: a half-resized fleet must not feed.
+func ResizeFleet(sh *Shard, newShards int, opt ShardOptions,
+	retire func(shard int, f Feeder) error,
+	build func(shard int) (Feeder, error)) (*Shard, error) {
+	if newShards <= 0 || newShards > 1<<20 {
+		return nil, fmt.Errorf("engine: resize to %d shards", newShards)
+	}
+	if err := sh.Wait(); err != nil {
+		return nil, fmt.Errorf("engine: resize: closing the old fleet: %w", err)
+	}
+	for k, f := range sh.feeders {
+		if err := retire(k, f); err != nil {
+			return nil, fmt.Errorf("engine: resize: retiring shard %d: %w", k, err)
+		}
+	}
+	feeders := make([]Feeder, newShards)
+	for k := range feeders {
+		f, err := build(k)
+		if err != nil {
+			return nil, fmt.Errorf("engine: resize: building shard %d of %d: %w", k, newShards, err)
+		}
+		feeders[k] = f
+	}
+	return NewShardOpts(feeders, opt), nil
+}

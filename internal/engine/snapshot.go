@@ -466,6 +466,7 @@ func RestoreFleet(r io.Reader, restore func(shard int, r io.Reader) error) (int,
 	if err != nil {
 		return 0, err
 	}
+	sr.Repeatable(tagShard) // one SHRD frame per shard is the format
 	d, err := sr.Section(tagFleet)
 	if err != nil {
 		return 0, err

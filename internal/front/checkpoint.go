@@ -14,19 +14,23 @@ import (
 // wrapping the fleet snapshot with the front door's own state:
 //
 //	FRNT — config echo (policy, machines, shards, ε, α, admission budget
-//	       parameters), merge watermark
+//	       parameters), merge watermark, shard history (count at birth and
+//	       after each resize — the live count is its last element)
 //	TENS — admission ledgers, sorted by tenant
 //	PREJ — pre-rejection ledger (gid, release, weight), in decision order
+//	CARR — carried outcome ledger: verdicts of sessions retired by resizes
+//	       (their makespan high-water mark, then rows sorted by gid)
 //	FLTB — the engine fleet snapshot (Shard.Snapshot), embedded raw
 //
 // The duplicate-suppression set is NOT serialized: it is exactly the union
-// of the fleet's fed jobs (recovered via EachFed) and the PREJ ledger, and
-// rebuilding it from those sources keeps the two representations from ever
-// disagreeing.
+// of the fleet's fed jobs (recovered via EachFed), the PREJ ledger and the
+// CARR ledger, and rebuilding it from those sources keeps the
+// representations from ever disagreeing.
 const (
 	tagFront   = "FRNT"
 	tagTenants = "TENS"
 	tagPreRej  = "PREJ"
+	tagCarried = "CARR"
 	tagFleet   = "FLTB"
 )
 
@@ -48,6 +52,10 @@ func (s *Server) snapshotTo(w io.Writer) error {
 		e.F64(s.cfg.Admission.Epsilon)
 		e.F64(s.cfg.Admission.Burst)
 		e.F64(s.watermark)
+		e.Int(len(s.shardHist))
+		for _, n := range s.shardHist {
+			e.Int(n)
+		}
 	})
 	sw.Section(tagTenants, func(e *snapshot.Encoder) {
 		tens := s.adm.Tenants()
@@ -69,16 +77,31 @@ func (s *Server) snapshotTo(w io.Writer) error {
 			e.F64(pr.weight)
 		}
 	})
+	sw.Section(tagCarried, func(e *snapshot.Encoder) {
+		e.F64(s.carriedMakespan)
+		e.Int(len(s.carried))
+		for _, v := range s.carried {
+			e.Int(v.gid)
+			e.F64(v.release)
+			e.F64(v.weight)
+			e.F64(v.t)
+			e.Bool(v.rejected)
+		}
+	})
 	sw.Section(tagFleet, func(e *snapshot.Encoder) { e.Raw(fleetBuf.Bytes()) })
 	return sw.Close()
 }
 
 // Restore rebuilds a front door from a checkpoint written by its periodic
 // cadence or final drain. cfg must agree with the donor's scheduling
-// identity — policy, machines, shards, scheduler ε/α, and the admission
-// budget parameters (ε, burst) that the restored ledgers were earned under;
-// a mismatch fails loudly. Watermark knobs, queue depths, timeouts and
-// fault injection may differ freely: they shape timing, never verdicts.
+// identity — policy, machines, scheduler ε/α, and the admission budget
+// parameters (ε, burst) that the restored ledgers were earned under; a
+// mismatch fails loudly. The shard count is NOT matched against cfg: the
+// checkpoint is authoritative (a fleet resized to K′ mid-run must come back
+// at K′ no matter what count the restarting process was configured with),
+// so cfg.Shards is overwritten with the snapshot's. Watermark knobs, queue
+// depths, timeouts and fault injection may differ freely: they shape
+// timing, never verdicts.
 //
 // The restored server resumes exactly at the checkpoint's merge prefix:
 // replayed jobs the prefix already decided come back as dup acks, and
@@ -101,15 +124,27 @@ func Restore(cfg Config, r io.Reader) (*Server, error) {
 	admEps := d.F64()
 	admBurst := d.F64()
 	watermark := d.F64()
+	hist := make([]int, 0, 2)
+	for n, k := d.Int(), 0; k < n; k++ {
+		hist = append(hist, d.Int())
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(hist) == 0 || hist[len(hist)-1] != shards {
+		d.Failf("shard history %v does not end at the live count %d", hist, shards)
+		return nil, d.Err()
+	}
 	if err := d.Done(); err != nil {
 		return nil, err
 	}
-	if policy != cfg.Policy || machines != cfg.Machines || shards != cfg.Shards ||
+	if policy != cfg.Policy || machines != cfg.Machines ||
 		eps != cfg.Epsilon || alpha != cfg.Alpha {
-		return nil, fmt.Errorf("front: checkpoint taken by %s (m=%d, shards=%d, ε=%v, α=%v), restoring into %s (m=%d, shards=%d, ε=%v, α=%v)",
-			policy, machines, shards, eps, alpha,
-			cfg.Policy, cfg.Machines, cfg.Shards, cfg.Epsilon, cfg.Alpha)
+		return nil, fmt.Errorf("front: checkpoint taken by %s (m=%d, ε=%v, α=%v), restoring into %s (m=%d, ε=%v, α=%v)",
+			policy, machines, eps, alpha,
+			cfg.Policy, cfg.Machines, cfg.Epsilon, cfg.Alpha)
 	}
+	cfg.Shards = shards
 	if admEps != cfg.Admission.Epsilon || admBurst != cfg.Admission.Burst {
 		return nil, fmt.Errorf("front: checkpoint ledgers earned under admission ε=%v burst=%v, restoring under ε=%v burst=%v",
 			admEps, admBurst, cfg.Admission.Epsilon, cfg.Admission.Burst)
@@ -166,6 +201,27 @@ func Restore(cfg Config, r io.Reader) (*Server, error) {
 		return nil, err
 	}
 
+	d, err = sr.Section(tagCarried)
+	if err != nil {
+		return nil, err
+	}
+	carriedMakespan := d.F64()
+	var carried []verdictRow
+	for n, k := d.Int(), 0; k < n; k++ {
+		v := verdictRow{gid: d.Int(), release: d.F64(), weight: d.F64(), t: d.F64(), rejected: d.Bool()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if v.gid < 0 || !(v.weight > 0) || (k > 0 && v.gid <= carried[k-1].gid) {
+			d.Failf("carried verdict %d malformed or out of order: gid %d weight %v", k, v.gid, v.weight)
+			return nil, d.Err()
+		}
+		carried = append(carried, v)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+
 	d, err = sr.Section(tagFleet)
 	if err != nil {
 		return nil, err
@@ -198,11 +254,20 @@ func Restore(cfg Config, r io.Reader) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	// build rebuilt watermark and dedupe from the fed jobs; layer the
+	// build rebuilt watermark and dedupe from the live sessions' fed jobs;
+	// layer the carried ledger (jobs fed to sessions retired by pre-crash
+	// resizes — invisible to EachFed on the live fleet) and the
 	// pre-rejection state back on top.
 	if watermark > s.watermark {
 		s.watermark = watermark
 	}
+	s.shardHist = hist
+	s.carried = carried
+	s.carriedMakespan = carriedMakespan
+	for _, v := range carried {
+		s.decided[v.gid] = struct{}{}
+	}
+	s.fedN.Add(int64(len(carried)))
 	s.preRej = ledger
 	for _, pr := range ledger {
 		s.decided[pr.gid] = struct{}{}

@@ -299,7 +299,6 @@ func TestRestoreRefusesMismatchedConfig(t *testing.T) {
 	for _, mutate := range []func(*Config){
 		func(c *Config) { c.Policy = "srpt" },
 		func(c *Config) { c.Machines = 3 },
-		func(c *Config) { c.Shards = 2 },
 		func(c *Config) { c.Epsilon = 0.5 },
 		func(c *Config) { c.Admission.Epsilon = 0.1 },
 	} {
@@ -308,6 +307,18 @@ func TestRestoreRefusesMismatchedConfig(t *testing.T) {
 		if _, err := Restore(bad, bytes.NewReader(ck)); err == nil {
 			t.Fatalf("restore accepted a mismatched config %+v", bad)
 		}
+	}
+	// Shards is NOT identity: the checkpoint's count wins (a fleet resized
+	// mid-run must come back at its live count regardless of what the
+	// restarting process was configured with).
+	reshard := cfg
+	reshard.Shards = 2
+	s2, err := Restore(reshard, bytes.NewReader(ck))
+	if err != nil {
+		t.Fatalf("restore refused a shards-only config difference: %v", err)
+	}
+	if rep, err := s2.Drain(); err != nil || rep.Shards != 1 {
+		t.Fatalf("restored server did not adopt the checkpoint's shard count: %v (rep %+v)", err, rep)
 	}
 	if _, err := Restore(cfg, bytes.NewReader(ck[:len(ck)-3])); err == nil {
 		t.Fatal("restore accepted a truncated checkpoint")

@@ -18,12 +18,14 @@ import (
 //
 //	POST /v1/feed?tenant=T   stream NDJSON jobs in, NDJSON acks out
 //	POST /v1/drain           drain the server, respond with the final report
+//	POST /v1/resize?shards=K crash-safe fleet resize; answers when it lands
 //	GET  /v1/stats           live counters
 //	GET  /healthz            readiness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/feed", s.handleFeed)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("POST /v1/resize", s.handleResize)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -164,6 +166,34 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(rep)
+}
+
+// handleResize triggers a crash-safe fleet resize and blocks until it
+// completes (the sequencer executes it between merge pops). Responds with
+// the live shard count and full history; resizing to the current count is
+// a successful no-op, so retrying after an ambiguous failure is safe.
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	shards, err := strconv.Atoi(r.URL.Query().Get("shards"))
+	if err != nil || shards <= 0 {
+		httpError(w, http.StatusBadRequest, "shards must be a positive integer, got %q", r.URL.Query().Get("shards"))
+		return
+	}
+	switch err := s.Resize(shards); {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrResizeBusy):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	hist := append([]int(nil), s.shardHist...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"shards": shards, "history": hist})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

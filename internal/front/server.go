@@ -51,6 +51,7 @@
 package front
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/sched"
+	"repro/internal/snapshot"
 )
 
 // Config parameterizes a Server.
@@ -76,7 +78,7 @@ type Config struct {
 	Admission admission.Config // overload policy
 
 	QueueDepth    int           // per-stream sequencer queue, jobs (default 256)
-	AwaitTenants  int           // sequencer start barrier: wait for this many live streams (0: none)
+	AwaitTenants  int           // merge cold-start barrier: this many live streams before the first pop of each wave (0: none)
 	ReadTimeout   time.Duration // per-frame read deadline on feed connections (default 30s)
 	ThrottleDelay time.Duration // per-job intake delay in the Throttle state (default 1ms, <0 disables)
 	AckTimeout    time.Duration // grace window for a full ack channel before the stream is killed (default 250ms, <0 kills instantly)
@@ -100,7 +102,30 @@ type Config struct {
 	CheckpointPath  string // durable snapshot path ("" disables checkpointing)
 	CheckpointEvery int    // fed jobs between periodic checkpoints (0: final only)
 
+	// CheckpointDeltas switches checkpointing to lineage mode: CheckpointPath
+	// becomes the base path of a checkpoint lineage (snapshot.Lineage) and up
+	// to this many delta checkpoints are written between fulls, so the
+	// periodic cadence pays for per-interval churn instead of the whole live
+	// state. 0 with CheckpointKeep 0 keeps the legacy single-file behavior.
+	CheckpointDeltas int
+	// CheckpointKeep bounds lineage retention to this many newest full
+	// generations (0 keeps all). Setting it alone (deltas off) still selects
+	// lineage mode: every checkpoint is a full, old ones rotate out.
+	CheckpointKeep int
+
 	Stall chaos.Stall // fault injection: stall every shard feeder on this schedule
+
+	// CrashAtResize is fault injection for the resize crash windows: the
+	// process exits with status 137 (SIGKILL's status) at the named point of
+	// the next resize — "pre" (after the pre-resize checkpoint), "mid"
+	// (after the fleet swap, before the post-resize checkpoint) or "post"
+	// (after the post-resize checkpoint). Empty disables.
+	CrashAtResize string
+}
+
+// lineageMode reports whether checkpoints go through a snapshot.Lineage.
+func (c *Config) lineageMode() bool {
+	return c.CheckpointPath != "" && (c.CheckpointDeltas > 0 || c.CheckpointKeep > 0)
 }
 
 // maxTenant and maxLocalID bound the gid packing (gid = tenant<<32 | local).
@@ -132,7 +157,14 @@ var (
 	ErrDraining     = errors.New("front: server is draining")
 	ErrTenantBusy   = errors.New("front: tenant already has a live stream")
 	ErrStreamKilled = errors.New("front: stream killed: ack consumer too slow")
+	ErrResizeBusy   = errors.New("front: a resize is already in progress")
 )
+
+// resizeReq carries one Resize call to the sequencer goroutine.
+type resizeReq struct {
+	to   int
+	done chan error
+}
 
 // Ack is the per-job verdict delivered on a stream's ack channel. St is one
 // of chaos.AckOK, chaos.AckRej, chaos.AckDup.
@@ -162,6 +194,7 @@ type Server struct {
 	queued   int // jobs buffered across all stream queues
 	await    int // sequencer start barrier countdown
 	draining bool
+	resize   *resizeReq // pending Resize, handed to the sequencer
 	report   *Report
 	repErr   error
 	drained  chan struct{}
@@ -175,6 +208,16 @@ type Server struct {
 	preRej    []preReject
 	watermark float64
 	sinceCkpt int
+	lineage   *snapshot.Lineage // non-nil in lineage checkpoint mode
+	ckptBuf   bytes.Buffer      // serialization scratch for lineage checkpoints
+
+	// Carried outcome ledger: verdicts of sessions retired by a resize.
+	// Their sessions are gone by drain time, so release/weight ride along
+	// with each row. Kept sorted by gid (checkpoint bytes must be
+	// deterministic); buildReport merges it with the live fleet's outcomes.
+	carried         []verdictRow
+	carriedMakespan float64
+	shardHist       []int // shard count at birth and after each resize (appended under mu: HTTP reads it)
 
 	// Live counters for Stats (timing-dependent; never in the report).
 	fedN      atomic.Int64
@@ -184,7 +227,20 @@ type Server struct {
 	overflowN atomic.Int64
 	ckptN     atomic.Int64
 	ckptErrN  atomic.Int64
+	resizeN   atomic.Int64
 	lastState atomic.Int32
+}
+
+// verdictRow is one decided job: its identity, the release/weight facts the
+// report's flow math needs, the decision time, and which way it went. Rows
+// of retired sessions live in Server.carried; live sessions produce theirs
+// at drain.
+type verdictRow struct {
+	gid      int
+	release  float64
+	weight   float64
+	t        float64
+	rejected bool
 }
 
 // New builds a fresh server fleet and starts its sequencer.
@@ -235,17 +291,28 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 	}
 	route := engine.RouteByTenant(func(j *sched.Job) int { return j.ID >> 32 })
 	s := &Server{
-		cfg:      cfg,
-		route:    route,
-		streams:  make(map[int]*Stream),
-		await:    cfg.AwaitTenants,
-		fleet:    engine.NewShardOpts(feeders, engine.ShardOptions{Route: route}),
-		sessions: sessions,
-		adm:      adm,
-		decided:  make(map[int]struct{}, cfg.SizeHint),
-		drained:  make(chan struct{}),
+		cfg:       cfg,
+		route:     route,
+		streams:   make(map[int]*Stream),
+		await:     cfg.AwaitTenants,
+		fleet:     engine.NewShardOpts(feeders, engine.ShardOptions{Route: route}),
+		sessions:  sessions,
+		adm:       adm,
+		decided:   make(map[int]struct{}, cfg.SizeHint),
+		drained:   make(chan struct{}),
+		shardHist: []int{cfg.Shards},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.lineageMode() {
+		l, err := snapshot.OpenLineage(cfg.CheckpointPath, lineageOptions(cfg))
+		if err != nil {
+			for _, ps := range sessions {
+				ps.finish()
+			}
+			return nil, err
+		}
+		s.lineage = l
+	}
 	for _, ps := range sessions {
 		ps.EachFed(func(j *sched.Job) {
 			s.decided[j.ID] = struct{}{}
@@ -256,6 +323,11 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 	}
 	s.fedN.Store(int64(len(s.decided)))
 	return s, nil
+}
+
+// lineageOptions maps the config's checkpoint knobs onto the lineage's.
+func lineageOptions(cfg Config) snapshot.LineageOptions {
+	return snapshot.LineageOptions{Keep: cfg.CheckpointKeep, DeltaEvery: cfg.CheckpointDeltas}
 }
 
 // Stream is one tenant's live feed: a bounded job queue into the sequencer
@@ -437,15 +509,41 @@ func (s *Server) sequence() {
 		s.mu.Lock()
 		var st *Stream
 		for {
+			if req := s.resize; req != nil && !s.draining {
+				// A resize executes here, between merge pops: the sequencer
+				// owns the fleet, so no job can be in flight past this point
+				// and the resize lands at a deterministic spot in the merged
+				// order (after every job processed so far, before the next
+				// pop). Queued stream heads simply wait.
+				s.resize = nil
+				s.mu.Unlock()
+				req.done <- s.doResize(req.to)
+				s.mu.Lock()
+				continue
+			}
 			// Reap streams whose send side closed and queue drained; their
-			// ack channels close here, after the last verdict.
+			// ack channels close here, after the last verdict. When the last
+			// stream is reaped the merge goes cold, and the start barrier
+			// re-arms: the next wave of tenants (a later phase of a
+			// multi-phase run, e.g. across a fleet resize) must all connect
+			// before the first pop, exactly like the initial wave. Without
+			// the re-arm, merge order across a second wave would depend on
+			// connection timing — the sequencer would race ahead of late
+			// connectors and restamp their early releases nondeterministically.
 			for t, c := range s.streams {
 				if c.closed && c.size() == 0 {
 					delete(s.streams, t)
 					close(c.acks)
 				}
 			}
+			if len(s.streams) == 0 && !s.draining {
+				s.await = s.cfg.AwaitTenants
+			}
 			if s.draining && len(s.streams) == 0 {
+				if req := s.resize; req != nil {
+					s.resize = nil
+					req.done <- ErrDraining
+				}
 				s.mu.Unlock()
 				s.shutdown()
 				return
@@ -539,7 +637,7 @@ func (s *Server) process(st *Stream, j sched.Job, queued int) {
 		s.sinceCkpt++
 		if s.sinceCkpt >= s.cfg.CheckpointEvery {
 			s.sinceCkpt = 0
-			if err := s.writeCheckpoint(); err != nil {
+			if err := s.writeCheckpoint(false); err != nil {
 				s.ckptErrN.Add(1)
 			} else {
 				s.ckptN.Add(1)
@@ -565,6 +663,147 @@ func (s *Server) Drain() (*Report, error) {
 	s.mu.Unlock()
 	<-s.drained
 	return s.report, s.repErr
+}
+
+// Resize changes the fleet's shard count mid-stream, crash-safely. The
+// request is handed to the sequencer, which executes it between merge pops:
+// pre-resize full checkpoint, retire-and-replace fleet swap
+// (engine.ResizeFleet — retired sessions close, their outcomes move to the
+// carried ledger, fresh sessions open at the new count), post-resize full
+// checkpoint. The call blocks until the resize completes and is safe from
+// any goroutine.
+//
+// Resizing to the current shard count is a no-op (idempotent by design: a
+// recovery orchestrator can blindly re-issue its resize after a crash —
+// if the post-resize checkpoint survived, the re-issue changes nothing).
+// Only future jobs feel the new count: completed and running work stays
+// attributed to the machines that did it, exactly as the paper's
+// sunk-cost argument allows.
+func (s *Server) Resize(shards int) error {
+	if shards <= 0 || shards > 1<<20 {
+		return fmt.Errorf("front: resize to %d shards", shards)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if s.resize != nil {
+		s.mu.Unlock()
+		return ErrResizeBusy
+	}
+	if shards == s.cfg.Shards {
+		s.mu.Unlock()
+		return nil
+	}
+	req := &resizeReq{to: shards, done: make(chan error, 1)}
+	s.resize = req
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return <-req.done
+}
+
+// crashPoint is the resize fault hook: in a chaos run configured with
+// CrashAtResize, the process dies here as if SIGKILLed mid-resize.
+func (s *Server) crashPoint(point string) {
+	if s.cfg.CrashAtResize == point {
+		fmt.Fprintf(os.Stderr, "front: fault injection: crashing at resize point %q\n", point)
+		os.Exit(137)
+	}
+}
+
+// doResize runs on the sequencer goroutine. Crash atomicity comes from the
+// two full checkpoints bracketing the swap: a kill before the post-resize
+// checkpoint lands recovers at the old shard count with the pre-resize
+// checkpoint (the orchestrator re-issues the resize — idempotent either
+// way); after it, recovery resumes at the new count with the retired
+// outcomes in the carried ledger. Nothing in between is ever durable.
+func (s *Server) doResize(to int) error {
+	if s.cfg.CheckpointPath != "" {
+		if err := s.writeCheckpoint(true); err != nil {
+			return fmt.Errorf("front: pre-resize checkpoint: %w", err)
+		}
+		s.ckptN.Add(1)
+	}
+	s.crashPoint("pre")
+
+	old := s.sessions
+	fresh := make([]*policySession, to)
+	key := sessionKey(s.cfg.Policy, s.cfg.Machines, s.cfg.Epsilon, s.cfg.Alpha, s.cfg.EventQueue)
+	fleet, err := engine.ResizeFleet(s.fleet, to, engine.ShardOptions{Route: s.route},
+		func(k int, _ engine.Feeder) error {
+			ps := old[k]
+			facts := make(map[int]jobFact, ps.Fed())
+			ps.EachFed(func(j *sched.Job) {
+				facts[j.ID] = jobFact{release: j.Release, weight: j.Weight}
+			})
+			out, err := ps.finish()
+			if err != nil {
+				return err
+			}
+			for gid, t := range out.Completed {
+				f := facts[gid]
+				s.carried = append(s.carried, verdictRow{gid: gid, release: f.release, weight: f.weight, t: t})
+			}
+			for gid, t := range out.Rejected {
+				f := facts[gid]
+				s.carried = append(s.carried, verdictRow{gid: gid, release: f.release, weight: f.weight, t: t, rejected: true})
+			}
+			for i := range out.Intervals {
+				if end := out.Intervals[i].End; end > s.carriedMakespan {
+					s.carriedMakespan = end
+				}
+			}
+			if s.cfg.Pool != nil {
+				s.cfg.Pool.Put(key, ps)
+			}
+			return nil
+		},
+		func(k int) (engine.Feeder, error) {
+			var ps *policySession
+			if s.cfg.Pool != nil {
+				ps, _ = s.cfg.Pool.Get(key).(*policySession)
+			}
+			if ps == nil {
+				var err error
+				ps, err = buildSession(s.cfg.Policy, s.cfg.Machines, s.cfg.Epsilon, s.cfg.Alpha,
+					engine.PerShardHint(s.cfg.SizeHint, to), s.cfg.EventQueue, nil)
+				if err != nil {
+					return nil, err
+				}
+			}
+			fresh[k] = ps
+			if s.cfg.Stall.Enabled() {
+				return chaos.NewStallFeeder(ps, s.cfg.Stall), nil
+			}
+			return ps, nil
+		})
+	if err != nil {
+		// The old fleet is closed and some sessions may already be retired:
+		// the server cannot keep feeding. Surface the error to the caller
+		// and poison future feeds by leaving the closed fleet in place.
+		return err
+	}
+	// Checkpoint bytes must be deterministic: map iteration filled carried
+	// in arbitrary order.
+	slices.SortFunc(s.carried, func(a, b verdictRow) int { return a.gid - b.gid })
+	s.sessions = fresh
+	s.mu.Lock() // fleet, shard count and history are read by HTTP goroutines
+	s.fleet = fleet
+	s.cfg.Shards = to
+	s.shardHist = append(s.shardHist, to)
+	s.mu.Unlock()
+	s.crashPoint("mid")
+
+	if s.cfg.CheckpointPath != "" {
+		if err := s.writeCheckpoint(true); err != nil {
+			return fmt.Errorf("front: post-resize checkpoint: %w", err)
+		}
+		s.ckptN.Add(1)
+	}
+	s.crashPoint("post")
+	s.resizeN.Add(1)
+	return nil
 }
 
 // shutdown runs on the sequencer goroutine after the last stream is reaped.
@@ -597,7 +836,7 @@ type jobFact struct {
 // order, so the same decided job set always produces the same bytes.
 func (s *Server) buildReport() (*Report, error) {
 	if s.cfg.CheckpointPath != "" {
-		if err := s.writeCheckpoint(); err != nil {
+		if err := s.writeCheckpoint(true); err != nil {
 			return nil, err
 		}
 		s.ckptN.Add(1)
@@ -614,23 +853,30 @@ func (s *Server) buildReport() (*Report, error) {
 		return nil, err
 	}
 
-	type verdict struct {
-		gid      int
-		t        float64
-		rejected bool
-	}
-	rows := make([]verdict, 0, len(facts))
-	var makespan float64
+	// Live sessions yield their outcomes now; sessions retired by a resize
+	// already folded theirs into the carried ledger (with release/weight
+	// facts attached — their sessions are gone). The union is every decided
+	// job exactly once: a gid feeds exactly one session in its lifetime.
+	rows := make([]verdictRow, 0, len(facts)+len(s.carried))
+	makespan := s.carriedMakespan
 	for _, ps := range s.sessions {
 		out, err := ps.finish()
 		if err != nil {
 			return nil, err
 		}
 		for gid, t := range out.Completed {
-			rows = append(rows, verdict{gid: gid, t: t})
+			f, ok := facts[gid]
+			if !ok {
+				return nil, fmt.Errorf("front: outcome holds job %d the front door never fed", gid)
+			}
+			rows = append(rows, verdictRow{gid: gid, release: f.release, weight: f.weight, t: t})
 		}
 		for gid, t := range out.Rejected {
-			rows = append(rows, verdict{gid: gid, t: t, rejected: true})
+			f, ok := facts[gid]
+			if !ok {
+				return nil, fmt.Errorf("front: outcome holds job %d the front door never fed", gid)
+			}
+			rows = append(rows, verdictRow{gid: gid, release: f.release, weight: f.weight, t: t, rejected: true})
 		}
 		for k := range out.Intervals {
 			if end := out.Intervals[k].End; end > makespan {
@@ -638,12 +884,14 @@ func (s *Server) buildReport() (*Report, error) {
 			}
 		}
 	}
-	slices.SortFunc(rows, func(a, b verdict) int { return a.gid - b.gid })
+	rows = append(rows, s.carried...)
+	slices.SortFunc(rows, func(a, b verdictRow) int { return a.gid - b.gid })
 
 	rep := &Report{
 		Policy:           s.cfg.Policy,
 		Machines:         s.cfg.Machines,
 		Shards:           s.cfg.Shards,
+		ShardHistory:     slices.Clone(s.shardHist),
 		Epsilon:          s.cfg.Epsilon,
 		AdmissionEpsilon: s.cfg.Admission.Epsilon,
 		AdmissionBurst:   s.cfg.Admission.Burst,
@@ -666,26 +914,22 @@ func (s *Server) buildReport() (*Report, error) {
 		rep.RejectedWeight += t.PreRejectedWeight
 	}
 	for _, v := range rows {
-		f, ok := facts[v.gid]
-		if !ok {
-			return nil, fmt.Errorf("front: outcome holds job %d the front door never fed", v.gid)
-		}
 		tr := tens[v.gid>>32]
 		if tr == nil {
 			return nil, fmt.Errorf("front: job %d belongs to tenant %d with no admission ledger", v.gid, v.gid>>32)
 		}
-		flow := v.t - f.release
+		flow := v.t - v.release
 		rep.TotalFlow += flow
-		rep.WeightedFlow += f.weight * flow
-		tr.WeightedFlow += f.weight * flow
+		rep.WeightedFlow += v.weight * flow
+		tr.WeightedFlow += v.weight * flow
 		if flow > rep.MaxFlow {
 			rep.MaxFlow = flow
 		}
 		if v.rejected {
 			rep.Rejected++
-			rep.RejectedWeight += f.weight
+			rep.RejectedWeight += v.weight
 			tr.Rejected++
-			tr.RejectedWeight += f.weight
+			tr.RejectedWeight += v.weight
 		} else {
 			rep.Completed++
 			tr.Completed++
@@ -703,10 +947,22 @@ func (s *Server) buildReport() (*Report, error) {
 	return rep, nil
 }
 
-// writeCheckpoint freezes the whole front door into CheckpointPath
-// atomically: temp file, fsync, rename — a SIGKILL at any instant leaves
-// either the previous checkpoint or the new one, never a torn file.
-func (s *Server) writeCheckpoint() error {
+// writeCheckpoint freezes the whole front door durably. Legacy mode writes
+// CheckpointPath atomically (temp file, fsync, rename — a SIGKILL at any
+// instant leaves either the previous checkpoint or the new one, never a
+// torn file). Lineage mode serializes into a reusable buffer and hands the
+// bytes to the checkpoint lineage, which picks full vs delta and rotates
+// old generations; forceFull pins the write to a full snapshot (the resize
+// brackets and the final drain checkpoint — recovery anchors).
+func (s *Server) writeCheckpoint(forceFull bool) error {
+	if s.lineage != nil {
+		s.ckptBuf.Reset()
+		if err := s.snapshotTo(&s.ckptBuf); err != nil {
+			return fmt.Errorf("front: writing checkpoint: %w", err)
+		}
+		_, err := s.lineage.Write(s.ckptBuf.Bytes(), forceFull)
+		return err
+	}
 	path := s.cfg.CheckpointPath
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -746,16 +1002,17 @@ type Stats struct {
 	AckOverflows int64  `json:"ack_overflows"`
 	Checkpoints  int64  `json:"checkpoints"`
 	CkptErrors   int64  `json:"checkpoint_errors"`
+	Resizes      int64  `json:"resizes"`
 }
 
 // Stats samples the live counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	queued, streams, draining := s.queued, len(s.streams), s.draining
+	queued, streams, draining, fleet := s.queued, len(s.streams), s.draining, s.fleet
 	s.mu.Unlock()
 	return Stats{
 		State:        admission.State(s.lastState.Load()).String(),
-		Depth:        s.fleet.DepthTotal() + queued,
+		Depth:        fleet.DepthTotal() + queued,
 		Queued:       queued,
 		Streams:      streams,
 		Draining:     draining,
@@ -766,6 +1023,7 @@ func (s *Server) Stats() Stats {
 		AckOverflows: s.overflowN.Load(),
 		Checkpoints:  s.ckptN.Load(),
 		CkptErrors:   s.ckptErrN.Load(),
+		Resizes:      s.resizeN.Load(),
 	}
 }
 
@@ -777,7 +1035,8 @@ func (s *Server) Stats() Stats {
 type Report struct {
 	Policy           string  `json:"policy"`
 	Machines         int     `json:"machines"`
-	Shards           int     `json:"shards"`
+	Shards           int     `json:"shards"`        // final shard count
+	ShardHistory     []int   `json:"shard_history"` // count at birth and after each resize
 	Epsilon          float64 `json:"epsilon"`
 	AdmissionEpsilon float64 `json:"admission_epsilon"`
 	AdmissionBurst   float64 `json:"admission_burst"` // with ε, lets an external auditor re-check the budget invariant

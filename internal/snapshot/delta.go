@@ -1,0 +1,544 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Delta checkpoints: instead of paying O(live state) bytes per periodic
+// checkpoint of a long stream, a delta file records only the sections whose
+// bytes changed since the previous checkpoint — and within a changed
+// section, only the changed fixed-size chunks. Snapshot containers nest
+// (a front checkpoint embeds a fleet container which embeds one session
+// container per shard), and most engine sections are append-mostly (the job
+// table, the conservation array, the interval log all grow at the tail), so
+// diffing each *leaf* section against its counterpart in the base keeps a
+// steady-state delta proportional to the per-interval churn, not to the
+// total state. Diffing the flat file instead would be useless: one appended
+// job shifts every later section's bytes and the whole tail re-emits.
+//
+// A delta file is itself an ordinary snapshot container:
+//
+//	DLTA — base seq + CRC, new seq + CRC, chunk size, and the new
+//	       container's full structural skeleton (every node pre-order with
+//	       depth and tag) plus one (mode, length) descriptor per leaf
+//	PTCH — for each patched leaf, the changed chunks (index, bytes)
+//	WHOL — for each new/rewritten leaf, its whole payload
+//
+// so truncation and bit flips in a delta are caught by the same per-section
+// CRCs as any snapshot, and applying a delta to the wrong base fails on the
+// recorded base CRC before any byte is interpreted. ApplyDelta reassembles
+// the full container bytes and verifies the result's CRC against the one
+// recorded at encode time — a reconstruction can never silently diverge
+// from the donor's serialization.
+const (
+	tagDeltaHdr = "DLTA"
+	tagPatch    = "PTCH"
+	tagWhole    = "WHOL"
+)
+
+// Leaf reconstruction modes recorded in the DLTA header, one per leaf in
+// pre-order.
+const (
+	leafSame  = 0 // bytes identical to the base leaf at the same path
+	leafPatch = 1 // start from the base leaf, apply chunk patches
+	leafWhole = 2 // full payload follows in a WHOL section
+)
+
+// DefaultDeltaChunk is the chunk granularity of leaf diffs. 4 KiB keeps the
+// per-chunk bookkeeping negligible while an in-place mutation (one machine's
+// run state, one outcome slot) costs one chunk, not one section.
+const DefaultDeltaChunk = 4096
+
+// maxDeltaNodes bounds the structural skeleton a delta may declare, far
+// above any real container (a front checkpoint with 1<<20 shards stays
+// under it) but low enough that a corrupt count cannot drive allocation.
+const maxDeltaNodes = 1 << 22
+
+// deltaNode is one section of a parsed container: a leaf holds its payload,
+// a container holds its children (its payload is their serialization).
+type deltaNode struct {
+	tag      string
+	payload  []byte
+	children []deltaNode
+	isLeaf   bool
+}
+
+// parseDeltaTree parses data as a snapshot container, recursing into any
+// section whose payload is itself a well-formed container. It fails only
+// when data's top level is not a valid container — exactly the torn-write /
+// bit-flip / trailing-garbage detector the lineage recovery needs.
+func parseDeltaTree(data []byte) (*deltaNode, error) {
+	root := &deltaNode{}
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	sr.AllowDuplicates()
+	for {
+		tag, d, err := sr.Next()
+		if err == io.EOF {
+			return root, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		payload := d.Rest()
+		child := deltaNode{tag: tag, payload: payload, isLeaf: true}
+		// A nested container always starts with the 8-byte magic; a leaf
+		// payload cannot collide with it by accident (its first 8 bytes
+		// would have to spell "SCHSNAP\0"), and even then the full parse
+		// below arbitrates: only a completely well-formed container recurses.
+		if len(payload) >= 10 && bytes.Equal(payload[:8], magic[:]) {
+			if sub, err := parseDeltaTree(payload); err == nil {
+				child.children = sub.children
+				child.isLeaf = false
+			}
+		}
+		root.children = append(root.children, child)
+	}
+}
+
+// leafPaths walks the tree pre-order and returns every leaf with a path that
+// names it structurally: tag plus per-parent occurrence index at each level
+// ("FLTB#0/SHRD#2/JOBS#0"), so two checkpoints' leaves match by role even
+// when sibling sections repeat (the fleet's SHRD frames).
+type deltaLeaf struct {
+	path    string
+	payload []byte
+}
+
+func leafPaths(n *deltaNode, prefix string, out []deltaLeaf) []deltaLeaf {
+	occ := make(map[string]int, len(n.children))
+	for k := range n.children {
+		c := &n.children[k]
+		i := occ[c.tag]
+		occ[c.tag] = i + 1
+		p := fmt.Sprintf("%s%s#%d", prefix, c.tag, i)
+		if c.isLeaf {
+			out = append(out, deltaLeaf{path: p, payload: c.payload})
+		} else {
+			out = leafPaths(c, p+"/", out)
+		}
+	}
+	return out
+}
+
+// countNodes returns the number of sections in the tree (excluding the
+// synthetic root).
+func countNodes(n *deltaNode) int {
+	total := len(n.children)
+	for k := range n.children {
+		if !n.children[k].isLeaf {
+			total += countNodes(&n.children[k])
+		}
+	}
+	return total
+}
+
+// encodeSkeleton appends the tree structure pre-order: depth, 4-byte tag,
+// leaf flag. Reassembly rebuilds the exact nesting from this alone.
+func encodeSkeleton(e *Encoder, n *deltaNode, depth int) {
+	for k := range n.children {
+		c := &n.children[k]
+		e.U8(uint8(depth))
+		e.Raw([]byte(c.tag))
+		if c.isLeaf {
+			e.U8(1)
+		} else {
+			e.U8(0)
+			encodeSkeleton(e, c, depth+1)
+		}
+	}
+}
+
+// EncodeDelta writes a delta container to w that reconstructs newData from
+// baseData. Both must be snapshot containers (as written by Writer); chunk
+// ≤ 0 selects DefaultDeltaChunk. baseSeq and seq are the lineage sequence
+// numbers of the two checkpoints, recorded so a chain applies in order.
+// It returns the number of leaves emitted as patches or whole payloads
+// (0 means the two containers are byte-identical outside framing).
+func EncodeDelta(w io.Writer, baseData, newData []byte, baseSeq, seq uint64, chunk int) (changed int, err error) {
+	if chunk <= 0 {
+		chunk = DefaultDeltaChunk
+	}
+	baseTree, err := parseDeltaTree(baseData)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: delta base is not a valid container: %w", err)
+	}
+	newTree, err := parseDeltaTree(newData)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: delta target is not a valid container: %w", err)
+	}
+	baseLeaves := leafPaths(baseTree, "", nil)
+	baseByPath := make(map[string][]byte, len(baseLeaves))
+	for _, l := range baseLeaves {
+		baseByPath[l.path] = l.payload
+	}
+	newLeaves := leafPaths(newTree, "", nil)
+
+	type patchSet struct {
+		leaf    int // index into newLeaves
+		chunks  []int
+		whole   bool
+		payload []byte
+	}
+	modes := make([]uint8, len(newLeaves))
+	var emits []patchSet
+	for i, l := range newLeaves {
+		base, ok := baseByPath[l.path]
+		if ok && bytes.Equal(base, l.payload) {
+			modes[i] = leafSame
+			continue
+		}
+		if !ok {
+			modes[i] = leafWhole
+			emits = append(emits, patchSet{leaf: i, whole: true, payload: l.payload})
+			continue
+		}
+		// Chunk-compare against the base leaf. A chunk differs when its
+		// bytes differ or its extent does (the boundary chunk of a grown
+		// or shrunk leaf always differs).
+		var dirty []int
+		patchedBytes := 0
+		nChunks := (len(l.payload) + chunk - 1) / chunk
+		for c := 0; c < nChunks; c++ {
+			lo := c * chunk
+			hi := min(lo+chunk, len(l.payload))
+			var bchunk []byte
+			if lo < len(base) {
+				bchunk = base[lo:min(lo+chunk, len(base))]
+			}
+			if !bytes.Equal(l.payload[lo:hi], bchunk) {
+				dirty = append(dirty, c)
+				patchedBytes += (hi - lo) + 8 // payload + per-patch framing
+			}
+		}
+		// A pure truncation on a chunk boundary yields zero dirty chunks;
+		// the recorded leaf length alone reconstructs it.
+		if patchedBytes >= len(l.payload) {
+			modes[i] = leafWhole
+			emits = append(emits, patchSet{leaf: i, whole: true, payload: l.payload})
+		} else {
+			modes[i] = leafPatch
+			emits = append(emits, patchSet{leaf: i, chunks: dirty})
+		}
+	}
+
+	sw := NewWriter(w)
+	sw.Section(tagDeltaHdr, func(e *Encoder) {
+		e.U64(baseSeq)
+		e.U64(seq)
+		e.U32(uint32(chunk))
+		e.U32(Checksum(baseData))
+		e.U32(Checksum(newData))
+		e.U64(uint64(len(newData)))
+		e.U64(uint64(countNodes(newTree)))
+		encodeSkeleton(e, newTree, 0)
+		e.U64(uint64(len(newLeaves)))
+		for i := range newLeaves {
+			e.U8(modes[i])
+			e.U64(uint64(len(newLeaves[i].payload)))
+		}
+	})
+	for _, ps := range emits {
+		l := newLeaves[ps.leaf]
+		if ps.whole {
+			sw.Section(tagWhole, func(e *Encoder) { e.Raw(ps.payload) })
+			continue
+		}
+		sw.Section(tagPatch, func(e *Encoder) {
+			e.U64(uint64(len(ps.chunks)))
+			for _, c := range ps.chunks {
+				lo := c * chunk
+				hi := min(lo+chunk, len(l.payload))
+				e.U32(uint32(c))
+				e.U32(uint32(hi - lo))
+				e.Raw(l.payload[lo:hi])
+			}
+		})
+	}
+	return len(emits), sw.Close()
+}
+
+// DeltaInfo reports what a parsed delta chains to.
+type DeltaInfo struct {
+	BaseSeq uint64
+	Seq     uint64
+	BaseCRC uint32
+	NewCRC  uint32
+}
+
+// skeletonNode mirrors deltaNode during reassembly.
+type skeletonNode struct {
+	tag      string
+	isLeaf   bool
+	children []*skeletonNode
+	leafIdx  int // index into the leaf descriptor table, leaves only
+}
+
+// readSkeleton decodes n pre-order (depth, tag, leaf) entries into a tree,
+// numbering leaves in pre-order.
+func readSkeleton(d *Decoder, n int) (*skeletonNode, error) {
+	root := &skeletonNode{}
+	stack := []*skeletonNode{root} // stack[d] = open container at depth d
+	leaves := 0
+	for k := 0; k < n; k++ {
+		depth := int(d.U8())
+		tagB := d.take(4, "section tag")
+		leaf := d.U8()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if depth+1 > len(stack) {
+			d.Failf("skeleton node %d at depth %d with no open parent", k, depth)
+			return nil, d.Err()
+		}
+		stack = stack[:depth+1]
+		node := &skeletonNode{tag: string(tagB), isLeaf: leaf == 1}
+		if node.isLeaf {
+			node.leafIdx = leaves
+			leaves++
+		} else {
+			stack = append(stack, node)
+		}
+		parent := stack[depth]
+		parent.children = append(parent.children, node)
+	}
+	return root, nil
+}
+
+// ApplyDelta reconstructs the full container a delta was encoded against:
+// baseData must be the checkpoint the delta chained to (verified by CRC
+// before any patch is applied), and the returned bytes are verified against
+// the CRC recorded at encode time, so the result is bit-identical to the
+// donor's serialization or the call fails.
+func ApplyDelta(baseData []byte, delta io.Reader) ([]byte, DeltaInfo, error) {
+	var info DeltaInfo
+	sr, err := NewReader(delta)
+	if err != nil {
+		return nil, info, err
+	}
+	sr.Repeatable(tagPatch, tagWhole)
+	d, err := sr.Section(tagDeltaHdr)
+	if err != nil {
+		return nil, info, err
+	}
+	info.BaseSeq = d.U64()
+	info.Seq = d.U64()
+	chunk := int(d.U32())
+	info.BaseCRC = d.U32()
+	info.NewCRC = d.U32()
+	totalLen := d.U64()
+	nNodes := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, info, err
+	}
+	if chunk <= 0 {
+		d.Failf("delta chunk size %d", chunk)
+		return nil, info, d.Err()
+	}
+	if nNodes > maxDeltaNodes {
+		d.Failf("delta skeleton declares %d sections", nNodes)
+		return nil, info, d.Err()
+	}
+	if got := Checksum(baseData); got != info.BaseCRC {
+		return nil, info, fmt.Errorf("snapshot: delta %d chains to base %d with CRC %08x, supplied base has %08x",
+			info.Seq, info.BaseSeq, info.BaseCRC, got)
+	}
+	skel, err := readSkeleton(d, int(nNodes))
+	if err != nil {
+		return nil, info, err
+	}
+	type leafDesc struct {
+		mode uint8
+		size uint64
+	}
+	nLeaves := d.Count(9)
+	descs := make([]leafDesc, nLeaves)
+	var needEmit int
+	for i := range descs {
+		descs[i] = leafDesc{mode: d.U8(), size: d.U64()}
+		if descs[i].mode > leafWhole {
+			d.Failf("leaf %d has unknown mode %d", i, descs[i].mode)
+		}
+		if descs[i].mode != leafSame {
+			needEmit++
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, info, err
+	}
+	// Count leaves in the skeleton and cross-check.
+	var countLeaves func(n *skeletonNode) int
+	countLeaves = func(n *skeletonNode) int {
+		t := 0
+		for _, c := range n.children {
+			if c.isLeaf {
+				t++
+			} else {
+				t += countLeaves(c)
+			}
+		}
+		return t
+	}
+	if got := countLeaves(skel); got != nLeaves {
+		return nil, info, fmt.Errorf("snapshot: delta skeleton holds %d leaves, descriptor table %d", got, nLeaves)
+	}
+
+	baseTree, err := parseDeltaTree(baseData)
+	if err != nil {
+		return nil, info, fmt.Errorf("snapshot: delta base is not a valid container: %w", err)
+	}
+	baseByPath := make(map[string][]byte)
+	for _, l := range leafPaths(baseTree, "", nil) {
+		baseByPath[l.path] = l.payload
+	}
+
+	// Resolve leaf payloads pre-order, consuming PTCH/WHOL sections in the
+	// same order they were emitted.
+	payloads := make([][]byte, nLeaves)
+	var resolve func(n *skeletonNode, prefix string) error
+	resolve = func(n *skeletonNode, prefix string) error {
+		occ := make(map[string]int, len(n.children))
+		for _, c := range n.children {
+			i := occ[c.tag]
+			occ[c.tag] = i + 1
+			p := fmt.Sprintf("%s%s#%d", prefix, c.tag, i)
+			if !c.isLeaf {
+				if err := resolve(c, p+"/"); err != nil {
+					return err
+				}
+				continue
+			}
+			desc := descs[c.leafIdx]
+			switch desc.mode {
+			case leafSame:
+				base, ok := baseByPath[p]
+				if !ok {
+					return fmt.Errorf("snapshot: delta marks leaf %s unchanged but the base has no such section", p)
+				}
+				if uint64(len(base)) != desc.size {
+					return fmt.Errorf("snapshot: delta leaf %s declares %d bytes, base holds %d", p, desc.size, len(base))
+				}
+				payloads[c.leafIdx] = base
+			case leafWhole:
+				pd, err := sr.Section(tagWhole)
+				if err != nil {
+					return fmt.Errorf("snapshot: delta leaf %s: %w", p, err)
+				}
+				b := pd.Rest()
+				if err := pd.Done(); err != nil {
+					return err
+				}
+				if uint64(len(b)) != desc.size {
+					return fmt.Errorf("snapshot: delta leaf %s declares %d bytes, whole payload holds %d", p, desc.size, len(b))
+				}
+				payloads[c.leafIdx] = b
+			case leafPatch:
+				base, ok := baseByPath[p]
+				if !ok {
+					return fmt.Errorf("snapshot: delta patches leaf %s but the base has no such section", p)
+				}
+				pd, err := sr.Section(tagPatch)
+				if err != nil {
+					return fmt.Errorf("snapshot: delta leaf %s: %w", p, err)
+				}
+				out := make([]byte, desc.size)
+				copy(out, base)
+				nPatch := pd.Count(8)
+				for k := 0; k < nPatch; k++ {
+					idx := int(pd.U32())
+					ln := int(pd.U32())
+					b := pd.take(ln, "patch chunk")
+					if pd.Err() != nil {
+						return pd.Err()
+					}
+					lo := idx * chunk
+					if lo < 0 || lo > len(out) || lo+ln > len(out) {
+						pd.Failf("patch chunk %d ([%d,%d)) outside leaf of %d bytes", idx, lo, lo+ln, len(out))
+						return pd.Err()
+					}
+					wantLn := min(chunk, len(out)-lo)
+					if ln != wantLn {
+						pd.Failf("patch chunk %d carries %d bytes, extent is %d", idx, ln, wantLn)
+						return pd.Err()
+					}
+					copy(out[lo:lo+ln], b)
+				}
+				if err := pd.Done(); err != nil {
+					return err
+				}
+				payloads[c.leafIdx] = out
+			}
+		}
+		return nil
+	}
+	if err := resolve(skel, ""); err != nil {
+		return nil, info, err
+	}
+	if err := sr.End(); err != nil {
+		return nil, info, err
+	}
+
+	// Reassemble bottom-up: a container's payload is its children's
+	// serialization, and the Writer's framing is canonical, so the result
+	// is the donor's exact bytes — verified by the recorded CRC.
+	var assemble func(n *skeletonNode) []byte
+	assemble = func(n *skeletonNode) []byte {
+		var buf bytes.Buffer
+		buf.Grow(int(totalLen) / 2)
+		sw := NewWriter(&buf)
+		for _, c := range n.children {
+			var body []byte
+			if c.isLeaf {
+				body = payloads[c.leafIdx]
+			} else {
+				body = assemble(c)
+			}
+			sw.Section(c.tag, func(e *Encoder) { e.Raw(body) })
+		}
+		sw.Close()
+		return buf.Bytes()
+	}
+	out := assemble(skel)
+	if uint64(len(out)) != totalLen {
+		return nil, info, fmt.Errorf("snapshot: delta reassembled %d bytes, expected %d", len(out), totalLen)
+	}
+	if got := Checksum(out); got != info.NewCRC {
+		return nil, info, fmt.Errorf("snapshot: delta reassembly CRC %08x does not match the recorded %08x", got, info.NewCRC)
+	}
+	return out, info, nil
+}
+
+// PeekDelta reports whether data is a delta container (first section DLTA)
+// and, if so, its chain info. A plain full checkpoint returns ok=false.
+func PeekDelta(data []byte) (info DeltaInfo, ok bool) {
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return info, false
+	}
+	sr.AllowDuplicates()
+	tag, d, err := sr.Next()
+	if err != nil || tag != tagDeltaHdr {
+		return info, false
+	}
+	info.BaseSeq = d.U64()
+	info.Seq = d.U64()
+	d.U32() // chunk
+	info.BaseCRC = d.U32()
+	info.NewCRC = d.U32()
+	if d.Err() != nil {
+		return DeltaInfo{}, false
+	}
+	return info, true
+}
+
+// VerifyContainer fully parses data as a snapshot container — every frame's
+// CRC, the END terminator, no trailing bytes. It is the integrity check the
+// lineage recovery runs on a full checkpoint before trusting it.
+func VerifyContainer(data []byte) error {
+	_, err := parseDeltaTree(data)
+	return err
+}

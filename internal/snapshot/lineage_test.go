@@ -1,0 +1,297 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// payloadN builds a distinguishable container whose JOBS leaf grows with n —
+// the shape of a real checkpoint stream (append-mostly state).
+func payloadN(t *testing.T, n int) []byte {
+	t.Helper()
+	body := bytes.Repeat([]byte{byte(n)}, 64)
+	jobs := bytes.Repeat([]byte{0x4A}, 50000+1000*n)
+	return buildContainer(t, sec("SESS", body), sec("JOBS", jobs))
+}
+
+func openL(t *testing.T, path string, opt LineageOptions) *Lineage {
+	t.Helper()
+	l, err := OpenLineage(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLineageWriteRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 3})
+	var last []byte
+	for i := 0; i < 8; i++ {
+		last = payloadN(t, i)
+		e, err := l.Write(last, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKind := "delta"
+		if i == 0 || i == 4 { // first ever, then every 3 deltas
+			wantKind = "full"
+		}
+		if e.Kind != wantKind {
+			t.Fatalf("write %d: kind %s, want %s", i, e.Kind, wantKind)
+		}
+	}
+	got, info, err := RecoverLineage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("recovered payload differs from the last written")
+	}
+	if info.FellBack || info.Dropped != 0 || info.Applied != 3 {
+		t.Fatalf("clean recover info = %+v", info)
+	}
+}
+
+func TestLineageDeltaBytesSmall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 100})
+	full, err := l.Write(payloadN(t, 0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := l.Write(payloadN(t, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != "delta" {
+		t.Fatalf("second write kind = %s", delta.Kind)
+	}
+	if delta.Size*5 > full.Size {
+		t.Fatalf("delta of 1 KiB churn = %d bytes vs full %d — not even 5× smaller", delta.Size, full.Size)
+	}
+}
+
+// corrupt flips one byte in the named lineage member.
+func corruptMember(t *testing.T, l *Lineage, e LineageEntry, off int64) {
+	t.Helper()
+	p := l.memberPath(e)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off%int64(len(data))] ^= 0x01
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineageTornNewestFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 10})
+	var payloads [][]byte
+	for i := 0; i < 4; i++ {
+		payloads = append(payloads, payloadN(t, i))
+		if _, err := l.Write(payloads[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := l.Entries()
+
+	t.Run("truncated newest delta", func(t *testing.T) {
+		newest := entries[len(entries)-1]
+		data, _ := os.ReadFile(l.memberPath(newest))
+		os.WriteFile(l.memberPath(newest), data[:len(data)/2], 0o644)
+		got, info, err := RecoverLineage(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[2]) {
+			t.Fatal("did not fall back to the predecessor checkpoint")
+		}
+		if !info.FellBack || info.Dropped != 1 || info.Seq != entries[2].Seq {
+			t.Fatalf("fallback info = %+v", info)
+		}
+		os.WriteFile(l.memberPath(newest), data, 0o644) // restore for the next subtest
+	})
+
+	t.Run("bit flip mid-chain drops the tail", func(t *testing.T) {
+		corruptMember(t, l, entries[2], 33)
+		got, info, err := RecoverLineage(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[1]) {
+			t.Fatal("chain did not stop at the corrupt delta's predecessor")
+		}
+		if !info.FellBack || info.Dropped != 2 {
+			t.Fatalf("mid-chain info = %+v", info)
+		}
+	})
+}
+
+func TestLineageCorruptFullFallsBackAGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 1})
+	var payloads [][]byte
+	for i := 0; i < 4; i++ { // full, delta, full, delta
+		payloads = append(payloads, payloadN(t, i))
+		if _, err := l.Write(payloads[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := l.Entries()
+	if entries[2].Kind != "full" {
+		t.Fatalf("expected entry 2 to be a full, lineage = %+v", entries)
+	}
+	corruptMember(t, l, entries[2], 100)
+	got, info, err := RecoverLineage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloads[1]) {
+		t.Fatal("did not fall back to the previous generation")
+	}
+	if !info.FellBack || info.Dropped != 2 {
+		t.Fatalf("generation-fallback info = %+v", info)
+	}
+
+	// Corrupt the older generation too: recovery must now fail loudly.
+	corruptMember(t, l, entries[0], 50)
+	if _, _, err := RecoverLineage(path); err == nil {
+		t.Fatal("recovered from a lineage with every generation corrupt")
+	}
+}
+
+func TestLineageRetention(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 1, Keep: 2})
+	for i := 0; i < 9; i++ { // generations: (0,1) (2,3) (4,5) (6,7) (8)
+		if _, err := l.Write(payloadN(t, i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := l.Entries()
+	fulls := 0
+	for _, e := range entries {
+		if e.Kind == "full" {
+			fulls++
+		}
+	}
+	if fulls != 2 {
+		t.Fatalf("retention kept %d fulls, want 2 (entries %+v)", fulls, entries)
+	}
+	// Every manifest entry exists; nothing else remains on disk.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make(map[string]bool)
+	for _, de := range des {
+		onDisk[de.Name()] = true
+	}
+	for _, e := range entries {
+		if !onDisk[e.File] {
+			t.Fatalf("manifest names %s but it is not on disk", e.File)
+		}
+		delete(onDisk, e.File)
+	}
+	delete(onDisk, "ckpt.lineage")
+	if len(onDisk) != 0 {
+		t.Fatalf("retention left unreferenced files: %v", onDisk)
+	}
+	// Recovery still lands on the newest payload.
+	got, _, err := RecoverLineage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloadN(t, 8)) {
+		t.Fatal("post-retention recovery diverged")
+	}
+}
+
+func TestLineageManifestCorruptScansDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 2})
+	var last []byte
+	for i := 0; i < 3; i++ {
+		last = payloadN(t, i)
+		if _, err := l.Write(last, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(manifestPath(path), []byte("{torn json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RecoverLineage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("scan-mode recovery diverged")
+	}
+	// A missing manifest behaves the same.
+	os.Remove(manifestPath(path))
+	got, _, err = RecoverLineage(path)
+	if err != nil || !bytes.Equal(got, last) {
+		t.Fatalf("manifest-less recovery: %v", err)
+	}
+}
+
+func TestLineageReopenContinuesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 5})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Write(payloadN(t, i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen (a restarted process), recover, keep writing: sequence numbers
+	// must not collide and the first post-recover write stays chainable.
+	l2 := openL(t, path, LineageOptions{DeltaEvery: 5})
+	got, _, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloadN(t, 2)) {
+		t.Fatal("reopen recovery diverged")
+	}
+	e, err := l2.Write(payloadN(t, 3), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 3 {
+		t.Fatalf("post-reopen seq = %d, want 3", e.Seq)
+	}
+	if e.Kind != "delta" {
+		t.Fatalf("post-recover write downgraded to %s; recover should prime the delta base", e.Kind)
+	}
+	gotFinal, info, err := RecoverLineage(path)
+	if err != nil || !bytes.Equal(gotFinal, payloadN(t, 3)) {
+		t.Fatalf("final recovery: %v (info %+v)", err, info)
+	}
+}
+
+func TestLineageForceFull(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	l := openL(t, path, LineageOptions{DeltaEvery: 100})
+	if _, err := l.Write(payloadN(t, 0), false); err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.Write(payloadN(t, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "full" {
+		t.Fatalf("forceFull wrote a %s", e.Kind)
+	}
+	if !LineageExists(path) {
+		t.Fatal("LineageExists = false on a live lineage")
+	}
+	if LineageExists(filepath.Join(t.TempDir(), "nothing")) {
+		t.Fatal("LineageExists = true on an empty directory")
+	}
+}

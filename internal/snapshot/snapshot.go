@@ -181,11 +181,41 @@ func (sw *Writer) Close() error {
 	return sw.err
 }
 
-// Reader walks the sections of a snapshot stream.
+// Checksum returns the CRC32-C of b — the same polynomial that guards every
+// section frame, exposed for whole-file integrity records (the checkpoint
+// lineage manifest stores one per checkpoint file).
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// Reader walks the sections of a snapshot stream. A tag appearing twice is
+// rejected by default: no writer in this repository emits the same section
+// twice at one nesting level except the fleet's SHRD frames, and a duplicated
+// section in anyone else's stream means a corrupt or hostile file whose
+// second copy would otherwise silently win (or lose) depending on caller
+// order. Walkers over legitimately repeated tags opt in via Repeatable.
 type Reader struct {
-	r     io.Reader
-	ended bool
+	r      io.Reader
+	ended  bool
+	seen   map[string]bool
+	repeat map[string]bool
+	anyDup bool
 }
+
+// Repeatable registers tags that may legally appear more than once (e.g. the
+// fleet snapshot's per-shard "SHRD" frames). Every other tag stays
+// once-only.
+func (sr *Reader) Repeatable(tags ...string) {
+	if sr.repeat == nil {
+		sr.repeat = make(map[string]bool, len(tags))
+	}
+	for _, t := range tags {
+		sr.repeat[t] = true
+	}
+}
+
+// AllowDuplicates disables duplicate-section rejection entirely — for
+// generic structural walkers (delta encoding) that traverse containers whose
+// section vocabulary they do not know. Semantic restores never use this.
+func (sr *Reader) AllowDuplicates() { sr.anyDup = true }
 
 // NewReader checks the stream header and returns a section reader.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -227,6 +257,15 @@ func (sr *Reader) Next() (string, *Decoder, error) {
 	got := crc32.Update(crc32.Checksum(hdr[:4], crcTable), crcTable, payload)
 	if got != want {
 		return "", nil, fmt.Errorf("snapshot: section %q: checksum mismatch (stored %08x, computed %08x): snapshot corrupted", tag, want, got)
+	}
+	if tag != EndTag && !sr.anyDup && !sr.repeat[tag] {
+		if sr.seen[tag] {
+			return "", nil, fmt.Errorf("snapshot: duplicate section %q: snapshot corrupted", tag)
+		}
+		if sr.seen == nil {
+			sr.seen = make(map[string]bool, 8)
+		}
+		sr.seen[tag] = true
 	}
 	if tag == EndTag {
 		sr.ended = true
