@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/front"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -64,6 +66,9 @@ func main() {
 		relBase  = flag.Float64("release-base", 0, "add this to every release time (lift a later phase past the merge watermark)")
 		resizeTo = flag.Int("resize-to", 0, "after feeding, resize the server's shard fleet to this count (0: no resize)")
 
+		scrape      = flag.String("scrape", "", "schedserve debug base URL (its -debug-addr): poll /metrics and print a live table while feeding")
+		scrapeEvery = flag.Duration("scrape-every", time.Second, "live-table poll interval (requires -scrape)")
+
 		wait      = flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before feeding")
 		noFeed    = flag.Bool("no-feed", false, "skip feeding (use with -drain to audit a server fed earlier)")
 		drain     = flag.Bool("drain", false, "drain the server afterwards and audit the final report")
@@ -84,8 +89,28 @@ func main() {
 		fatal(err)
 	}
 
+	// The live table and the final-scrape audit both read the server's
+	// telemetry via its -debug-addr /metrics endpoint.
+	if *scrape != "" {
+		if _, err := scrapeOnce(*scrape); err != nil {
+			fatal(fmt.Errorf("-scrape: %w", err))
+		}
+	}
+
+	var attemptsC, failuresC obs.Counter // fleet-wide retry accounting across tenants
+
 	submitted := 0
 	if !*noFeed {
+		stopScrape := make(chan struct{})
+		var scrapeDone sync.WaitGroup
+		if *scrape != "" {
+			scrapeDone.Add(1)
+			go func() {
+				defer scrapeDone.Done()
+				liveTable(*scrape, *scrapeEvery, stopScrape)
+			}()
+		}
+
 		var wg sync.WaitGroup
 		results := make([]*chaos.Result, *tenants)
 		errs := make([]error, *tenants)
@@ -105,6 +130,8 @@ func main() {
 				Rate:        *rate,
 				Faults:      chaos.Faults{Kills: *kills, Truncations: *truncs, Window: *window},
 				Seed:        uint64(*seed) + uint64(t)*0x9e3779b97f4a7c15,
+				AttemptsC:   &attemptsC,
+				FailuresC:   &failuresC,
 			}
 			if *verbose {
 				tt := t
@@ -119,6 +146,8 @@ func main() {
 			}(t)
 		}
 		wg.Wait()
+		close(stopScrape)
+		scrapeDone.Wait()
 		for t, err := range errs {
 			if err != nil {
 				fatal(fmt.Errorf("tenant %d: %w", t, err))
@@ -126,8 +155,15 @@ func main() {
 		}
 		for t, res := range results {
 			submitted += res.OK + res.Rejected + res.Dup
-			fmt.Fprintf(os.Stderr, "loadgen: tenant %d: %d ok, %d rejected, %d dup in %d attempts (%d kills, %d truncations)\n",
+			line := fmt.Sprintf("loadgen: tenant %d: %d ok, %d rejected, %d dup in %d attempts (%d kills, %d truncations",
 				t, res.OK, res.Rejected, res.Dup, res.Attempts, res.Kills, res.Truncations)
+			if res.FailedAttempts > 0 {
+				line += fmt.Sprintf(", %d failed — last: %s", res.FailedAttempts, res.LastErr)
+			}
+			fmt.Fprintln(os.Stderr, line+")")
+		}
+		if a, f := attemptsC.Value(), failuresC.Value(); f > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: retries: %d attempts, %d failed across %d tenants\n", a, f, *tenants)
 		}
 		if submitted != *tenants**jobs {
 			fatal(fmt.Errorf("clients account for %d jobs, submitted %d", submitted, *tenants**jobs))
@@ -190,8 +226,88 @@ func main() {
 			fail("tenant %d: fed %d but completed %d + rejected %d", tr.ID, tr.Fed, tr.Completed, tr.Rejected)
 		}
 	}
+	// Telemetry-vs-report cross-check: a final scrape of the server's live
+	// counters must agree with the drained report. A divergence means the
+	// metrics pipeline is lying about the system it instruments.
+	if *scrape != "" {
+		sc, err := scrapeOnce(*scrape)
+		if err != nil {
+			fail("final scrape: %v", err)
+		}
+		for _, chk := range []struct {
+			series string
+			want   int
+		}{
+			{"front_fed_total", rep.Fed},
+			{"front_prerejected_total", rep.PreRejected},
+		} {
+			if !sc.Has(chk.series) {
+				fail("final scrape is missing %s", chk.series)
+			}
+			if got := int(sc.Value(chk.series)); got != chk.want {
+				fail("scraped %s = %d, drained report says %d", chk.series, got, chk.want)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: scrape audit ok: /metrics agrees with the drained report\n")
+	}
 	fmt.Fprintf(os.Stderr, "loadgen: audit ok: %d fed, %d pre-rejected, %d completed, %d rejected (weight %.6g)\n",
 		rep.Fed, rep.PreRejected, rep.Completed, rep.Rejected, rep.RejectedWeight)
+}
+
+// scrapeOnce fetches and parses one /metrics exposition from the server's
+// debug listener.
+func scrapeOnce(base string) (obs.Scrape, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s/metrics: %s", base, resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// liveTable polls /metrics every tick and prints one compact status row:
+// admitted and shed weight (the admission ledger), the p99 sequencer
+// decide latency, and the sequencer busy fraction over the poll window
+// (busy-ns delta over wall delta — the saturation signal; at 1.00 the
+// single-threaded sequencer is the wall).
+func liveTable(base string, every time.Duration, stop <-chan struct{}) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	fmt.Fprintf(os.Stderr, "loadgen: %10s %12s %12s %12s %6s\n", "fed", "admit_w", "shed_w", "decide_p99", "busy")
+	var lastBusy float64
+	last := time.Now()
+	first := true
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			sc, err := scrapeOnce(base)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: scrape: %v\n", err)
+				continue
+			}
+			busy := sc.Value("front_sequencer_busy_ns_total")
+			frac := (busy - lastBusy) / float64(now.Sub(last))
+			lastBusy, last = busy, now
+			if first { // no window yet: show the since-start fraction instead
+				frac = sc.Value("front_sequencer_busy_fraction")
+				first = false
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: %10.0f %12.1f %12.1f %10.2fms %6.2f\n",
+				sc.Value("front_fed_total"),
+				sc.Value("admission_fed_weight"),
+				sc.Value("admission_tokens_spent_weight"),
+				sc.Quantile("front_decide_ns", 0.99)/1e6,
+				frac)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -22,6 +22,14 @@
 //	GET  /v1/stats           live counters
 //	GET  /healthz            readiness
 //
+// With -debug-addr a second listener serves the observability surface,
+// kept off the ingest address so a scrape or profile can never compete
+// with feed traffic for the accept queue:
+//
+//	GET /metrics             Prometheus text exposition (internal/obs)
+//	GET /debug/vars          the same registry as expvar-style JSON
+//	GET /debug/pprof/...     net/http/pprof (profile, heap, trace, ...)
+//
 // With -checkpoint-deltas/-checkpoint-keep the checkpoint path becomes a
 // delta lineage (base.N.full / base.N.delta plus a base.lineage manifest);
 // -resume detects a lineage at the path automatically and self-heals from
@@ -43,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +60,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/front"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -86,8 +96,16 @@ func main() {
 		stallEvery    = flag.Int("stall-every", 0, "fault injection: stall each shard feeder every N jobs (0 disables)")
 		stallDelay    = flag.Duration("stall-delay", 0, "fault injection: stall duration")
 		crashAtResize = flag.String("crash-at-resize", "", "fault injection: exit 137 at this resize point (pre|mid|post)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables telemetry)")
+		progress  = flag.Duration("progress", 0, "print a periodic status line to stderr (0 disables; needs -debug-addr)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
 
 	cfg := front.Config{
 		Policy:     *policy,
@@ -115,6 +133,7 @@ func main() {
 		CheckpointKeep:   *ckptKeep,
 		Stall:            chaos.Stall{Every: *stallEvery, Delay: *stallDelay},
 		CrashAtResize:    *crashAtResize,
+		Obs:              reg,
 	}
 
 	var (
@@ -133,6 +152,16 @@ func main() {
 			if info.FellBack {
 				fmt.Fprintf(os.Stderr, "schedserve: lineage fell back to seq %d (%d newer checkpoints dropped as corrupt)\n",
 					info.Seq, info.Dropped)
+			}
+			if reg != nil {
+				// Seed the recovery counters so the first scrape already tells
+				// the story of how this process came back.
+				if info.FellBack {
+					reg.Counter("lineage_fallbacks_total").Inc()
+				}
+				reg.Counter("lineage_dropped_total").Add(int64(info.Dropped))
+				reg.Counter("lineage_deltas_applied_total").Add(int64(info.Applied))
+				reg.Gauge("lineage_recovered_seq").Set(float64(info.Seq))
 			}
 			srv, err = front.Restore(cfg, bytes.NewReader(payload))
 		} else {
@@ -160,6 +189,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "schedserve: %s ε=%v on %s (m=%d × %d shards)\n",
 		*policy, *eps, *listen, *machines, *shards)
 
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{Addr: *debugAddr, Handler: debugMux(reg)}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "schedserve: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "schedserve: telemetry on %s (/metrics, /debug/vars, /debug/pprof)\n", *debugAddr)
+	}
+	stopProgress := make(chan struct{})
+	if *progress > 0 && reg != nil {
+		go progressLoop(reg, srv, *progress, stopProgress)
+	}
+
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -172,6 +216,7 @@ func main() {
 	// Graceful drain: the front door refuses new streams, finishes verdicts,
 	// quiesces the fleet, writes the final checkpoint, and the report goes to
 	// stdout — then the HTTP listener closes.
+	close(stopProgress)
 	rep, err := srv.Drain()
 	if err != nil {
 		fatal(err)
@@ -183,8 +228,62 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if ds != nil {
+		ds.Shutdown(ctx)
+	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+}
+
+// debugMux assembles the observability surface: the obs registry as
+// Prometheus text and expvar-style JSON, plus net/http/pprof. Explicit
+// pprof routes (not http.DefaultServeMux) keep the profiling surface
+// off the ingest listener.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// progressLoop prints one status line per interval from the registry's
+// counters — fed/shed totals, events per second, sequencer busy
+// fraction — until stopped.
+func progressLoop(reg *obs.Registry, srv *front.Server, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	fed := reg.Counter("front_fed_total")
+	shed := reg.Counter("front_prerejected_total")
+	events := reg.Counter("engine_events_total")
+	busy := reg.Counter("front_sequencer_busy_ns_total")
+	lastEvents, lastBusy := int64(0), int64(0)
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			wall := now.Sub(last)
+			ev, bz := events.Value(), busy.Value()
+			st := srv.Stats()
+			fmt.Fprintf(os.Stderr, "schedserve: progress fed=%d shed=%d depth=%d events/s=%.0f busy=%.2f state=%s\n",
+				fed.Value(), shed.Value(), st.Depth,
+				float64(ev-lastEvents)/wall.Seconds(),
+				float64(bz-lastBusy)/float64(wall), st.State)
+			lastEvents, lastBusy, last = ev, bz, now
+		}
 	}
 }
 

@@ -57,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core/energymin"
@@ -67,6 +68,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gantt"
 	"repro/internal/lowerbound"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
@@ -91,6 +93,7 @@ func main() {
 		resume   = flag.String("resume", "", "stream mode: restore the session from this snapshot and skip the jobs it already absorbed")
 		compare  = flag.Bool("compare", false, "run the policy, its preemptive counterpart and the SRPT bound on the same instance")
 		dump     = flag.String("dump", "", "write the outcome JSON to this file")
+		progress = flag.Duration("progress", 0, "stream mode: print a periodic status line (jobs fed, pending, events/s, checkpoint seq) to stderr (0 disables)")
 		showG    = flag.Bool("gantt", false, "print an ASCII machine timeline")
 	)
 	flag.Parse()
@@ -123,7 +126,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "schedsim: -checkpoint-every/-checkpoint-deltas/-checkpoint-keep/-stop-after need -checkpoint FILE")
 			os.Exit(2)
 		}
-		runStream(*policy, *eps, *alpha, *parallel, *batch, *eventq, flag.Arg(0), *dump,
+		runStream(*policy, *eps, *alpha, *parallel, *batch, *eventq, flag.Arg(0), *dump, *progress,
 			streamCheckpoints{File: *ckpt, Every: *ckptN, Deltas: *ckptD, Keep: *ckptK, StopAfter: *stopN, Resume: *resume})
 		return
 	}
@@ -263,6 +266,7 @@ type streamSession interface {
 	engine.BatchFeeder
 	Snapshot(w io.Writer) error
 	Fed() int
+	SetTelemetry(t engine.Telemetry)
 }
 
 // streamCheckpoints carries the checkpoint/resume configuration of a
@@ -295,7 +299,52 @@ func (ck streamCheckpoints) lineageMode() bool {
 // disk every ck.Every fed jobs (and before a ck.StopAfter exit), each
 // snapshot written to a temp file, fsynced and renamed into place so a crash
 // mid-checkpoint never corrupts the previous one.
-func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, path, dump string, ck streamCheckpoints) {
+// streamProgress prints one status line per tick to stderr — plus a
+// final one on stop, so even a run shorter than the interval leaves a
+// trace — reading only the obs registry (atomics), never the session.
+// events/s is the delta of engine_events_total over the window, and
+// pending is derived (fed − completed − rejected), clamped at zero
+// against the unsynchronized reads racing the feeder.
+func streamProgress(reg *obs.Registry, every time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	var (
+		fed       = reg.Counter("engine_jobs_fed_total")
+		completed = reg.Counter("engine_jobs_completed_total")
+		rejected  = reg.Counter("engine_jobs_rejected_total")
+		events    = reg.Counter("engine_events_total")
+		seq       = reg.Gauge("schedsim_checkpoint_seq")
+	)
+	lastEvents := int64(0)
+	last := time.Now()
+	emit := func(now time.Time) {
+		f := fed.Value()
+		pending := f - completed.Value() - rejected.Value()
+		if pending < 0 {
+			pending = 0
+		}
+		ev := events.Value()
+		rate := float64(ev-lastEvents) / now.Sub(last).Seconds()
+		if rate < 0 || now.Sub(last) <= 0 {
+			rate = 0
+		}
+		lastEvents, last = ev, now
+		fmt.Fprintf(os.Stderr, "schedsim: progress fed=%d pending=%d events/s=%.0f ckpt_seq=%d\n",
+			f, pending, rate, int64(seq.Value()))
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			emit(time.Now())
+			return
+		case now := <-t.C:
+			emit(now)
+		}
+	}
+}
+
+func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, path, dump string, progress time.Duration, ck streamCheckpoints) {
 	in := io.Reader(os.Stdin)
 	name := "stdin"
 	if path != "" && path != "-" {
@@ -449,6 +498,25 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 		resumeFrom.Close()
 	}
 
+	// -progress wires the session to a private obs registry and prints a
+	// periodic status line from its counters. The ticker goroutine never
+	// touches the session itself (sessions are not goroutine-safe):
+	// pending is derived as fed − completed − rejected, and the
+	// checkpoint sequence comes from a gauge set by save() below.
+	var ckptSeq *obs.Gauge
+	if progress > 0 {
+		reg := obs.NewRegistry()
+		fd.SetTelemetry(engine.NewTelemetry(reg, ""))
+		ckptSeq = reg.Gauge("schedsim_checkpoint_seq")
+		stopProgress := make(chan struct{})
+		progressDone := make(chan struct{})
+		go streamProgress(reg, progress, stopProgress, progressDone)
+		defer func() {
+			close(stopProgress)
+			<-progressDone // the final status line must land before exit
+		}()
+	}
+
 	// save freezes the session durably: single-file mode rewrites ck.File
 	// atomically; lineage mode appends a full or delta checkpoint to the
 	// chain. force pins a full — the final checkpoint of an interrupted or
@@ -461,16 +529,26 @@ func runStream(policy string, eps, alpha float64, parallel, batch int, eventq, p
 			fatal(err)
 		}
 	}
+	saveN := 0
 	save := func(force bool) error {
 		if lin == nil {
-			return writeCheckpoint(ck.File, fd)
+			if err := writeCheckpoint(ck.File, fd); err != nil {
+				return err
+			}
+			saveN++
+			ckptSeq.Set(float64(saveN))
+			return nil
 		}
 		var buf bytes.Buffer
 		if err := fd.Snapshot(&buf); err != nil {
 			return fmt.Errorf("writing checkpoint: %w", err)
 		}
-		_, err := lin.Write(buf.Bytes(), force)
-		return err
+		entry, err := lin.Write(buf.Bytes(), force)
+		if err != nil {
+			return err
+		}
+		ckptSeq.Set(float64(entry.Seq))
+		return nil
 	}
 
 	var facts []jobFact

@@ -150,6 +150,10 @@ type Controller struct {
 	cfg     Config
 	state   State
 	tenants map[int]*Tenant
+	// tel is the instrumentation bundle (zero value = disabled); it is
+	// attached via SetTelemetry, never via Config, so it stays out of
+	// checkpoints and can never alter a decision.
+	tel Telemetry
 }
 
 // New validates the configuration and returns a Controller in Accept.
@@ -174,6 +178,7 @@ func (c *Controller) State() State { return c.state }
 // the way back to Accept passes through the ResumeDepth hysteresis floor, so
 // one drained slab cannot flip the server open just to overload it again.
 func (c *Controller) Observe(depth int) State {
+	prev := c.state
 	switch {
 	case c.cfg.RejectDepth > 0 && depth >= c.cfg.RejectDepth:
 		c.state = Reject
@@ -187,6 +192,17 @@ func (c *Controller) Observe(depth int) State {
 		// Below the throttle watermark but above the resume floor: step
 		// down one level and let the hysteresis band hold there.
 		c.state = Throttle
+	}
+	if c.state != prev {
+		switch c.state {
+		case Accept:
+			c.tel.ToAccept.Inc()
+		case Throttle:
+			c.tel.ToThrottle.Inc()
+		case Reject:
+			c.tel.ToReject.Inc()
+		}
+		c.tel.State.Set(float64(c.state))
 	}
 	return c.state
 }
@@ -203,11 +219,17 @@ func (c *Controller) Decide(tenant int, weight float64) Decision {
 		t.PreRejected++
 		t.PreRejectedWeight += weight
 		t.Budget -= weight
+		c.tel.PreRejected.Inc()
+		c.tel.TokensSpent.Add(weight)
+		c.tel.Budget.Add(-weight)
 		return PreReject
 	}
 	t.Fed++
 	t.FedWeight += weight
 	t.Budget += c.cfg.Epsilon * weight
+	c.tel.Admitted.Inc()
+	c.tel.FedWeight.Add(weight)
+	c.tel.Budget.Add(c.cfg.Epsilon * weight)
 	return Admit
 }
 
@@ -217,6 +239,7 @@ func (c *Controller) tenant(id int) *Tenant {
 	if t == nil {
 		t = &Tenant{ID: id, Budget: c.cfg.Burst}
 		c.tenants[id] = t
+		c.tel.Budget.Add(c.cfg.Burst)
 	}
 	return t
 }
@@ -245,6 +268,7 @@ func (c *Controller) Tenants() []Tenant {
 func (c *Controller) RestoreTenant(t Tenant) {
 	cp := t
 	c.tenants[t.ID] = &cp
+	c.syncGauges()
 }
 
 // BudgetInvariant checks the paper-shaped budget bound for one tenant:

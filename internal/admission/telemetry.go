@@ -1,0 +1,76 @@
+package admission
+
+import "repro/internal/obs"
+
+// Telemetry is the controller's instrumentation surface. Every field
+// may be nil (obs methods are nil-receiver safe); a zero Telemetry is
+// the disabled mode. The controller is single-goroutine, so the
+// running totals behind the gauges need no synchronization — the
+// gauges themselves are atomic, which is what makes them scrapeable
+// from another goroutine.
+type Telemetry struct {
+	// ToAccept/ToThrottle/ToReject count transitions *into* each state.
+	ToAccept   *obs.Counter
+	ToThrottle *obs.Counter
+	ToReject   *obs.Counter
+	// State mirrors the current stance (0 accept, 1 throttle, 2 reject).
+	State *obs.Gauge
+	// TokensSpent is the cumulative pre-rejected weight — the rejection
+	// tokens actually spent across all tenants.
+	TokensSpent *obs.Gauge
+	// Budget is the live sum of every tenant's remaining allowance, the
+	// ε-budget headroom still available for shedding.
+	Budget *obs.Gauge
+	// FedWeight is the cumulative admitted weight across all tenants;
+	// together with TokensSpent it renders the paper's invariant
+	// (pre-rejected ≤ Burst·tenants + ε·fed) as two live series.
+	FedWeight *obs.Gauge
+	// PreRejected counts pre-rejected jobs.
+	PreRejected *obs.Counter
+	// Admitted counts admitted jobs.
+	Admitted *obs.Counter
+}
+
+// NewTelemetry builds the admission metric bundle on r. A nil registry
+// returns the zero (disabled) Telemetry.
+func NewTelemetry(r *obs.Registry) Telemetry {
+	if r == nil {
+		return Telemetry{}
+	}
+	return Telemetry{
+		ToAccept:    r.Counter(obs.Label("admission_transitions_total", "state", "accept")),
+		ToThrottle:  r.Counter(obs.Label("admission_transitions_total", "state", "throttle")),
+		ToReject:    r.Counter(obs.Label("admission_transitions_total", "state", "reject")),
+		State:       r.Gauge("admission_state"),
+		TokensSpent: r.Gauge("admission_tokens_spent_weight"),
+		Budget:      r.Gauge("admission_budget_weight"),
+		FedWeight:   r.Gauge("admission_fed_weight"),
+		PreRejected: r.Counter("admission_prerejected_total"),
+		Admitted:    r.Counter("admission_admitted_total"),
+	}
+}
+
+// SetTelemetry attaches (or replaces) the controller's metric bundle
+// and seeds the gauges from the current ledgers, so attaching after a
+// checkpoint restore reports the restored totals rather than zero.
+// Telemetry never changes a decision and is not part of Config, so it
+// stays out of checkpoints entirely.
+func (c *Controller) SetTelemetry(t Telemetry) {
+	c.tel = t
+	c.syncGauges()
+}
+
+// syncGauges recomputes the gauge totals from the tenant ledgers. Used
+// at attach and after RestoreTenant; Decide keeps them current O(1).
+func (c *Controller) syncGauges() {
+	var budget, fedW, preRejW float64
+	for _, t := range c.tenants {
+		budget += t.Budget
+		fedW += t.FedWeight
+		preRejW += t.PreRejectedWeight
+	}
+	c.tel.Budget.Set(budget)
+	c.tel.FedWeight.Set(fedW)
+	c.tel.TokensSpent.Set(preRejW)
+	c.tel.State.Set(float64(c.state))
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/core/flowtime"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -58,7 +60,7 @@ const throughputTrials = 5
 
 // bestShardRun repeats shardRun and keeps the fastest trial (outcomes are
 // bit-identical across trials, so only the clock varies).
-func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int, eventQueue string) (time.Duration, []*sched.Outcome, float64, error) {
+func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int, eventQueue string, reg *obs.Registry) (time.Duration, []*sched.Outcome, float64, error) {
 	trials := throughputTrials
 	if cfg.Quick {
 		trials = 2
@@ -69,7 +71,7 @@ func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.Sha
 		bestAllocs float64
 	)
 	for trial := 0; trial < trials; trial++ {
-		el, outs, allocs, err := shardRun(ins, m, shards, opt, sizeHint, eventQueue)
+		el, outs, allocs, err := shardRun(ins, m, shards, opt, sizeHint, eventQueue, reg)
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -85,14 +87,19 @@ func bestShardRun(cfg Config, ins *sched.Instance, m, shards int, opt engine.Sha
 // outcomes (shard k's outcome at index k). Every fed job must come back
 // completed or rejected. sizeHint is the per-shard preallocation hint passed
 // to every session (0 preserves the historical grow-on-demand measurement;
-// E18 passes engine.PerShardHint).
-func shardRun(ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int, eventQueue string) (time.Duration, []*sched.Outcome, float64, error) {
+// E18 passes engine.PerShardHint). A non-nil reg attaches full engine
+// telemetry to every session (E21's A/B lever); nil runs the untelemetered
+// historical path.
+func shardRun(ins *sched.Instance, m, shards int, opt engine.ShardOptions, sizeHint int, eventQueue string, reg *obs.Registry) (time.Duration, []*sched.Outcome, float64, error) {
 	sessions := make([]*flowtime.Session, shards)
 	feeders := make([]engine.Feeder, shards)
 	for k := range sessions {
 		s, err := flowtime.NewSession(m, flowtime.Options{Epsilon: 0.2, SizeHint: sizeHint, EventQueue: eventQueue})
 		if err != nil {
 			return 0, nil, 0, err
+		}
+		if reg != nil {
+			s.SetTelemetry(engine.NewTelemetry(reg, strconv.Itoa(k)))
 		}
 		sessions[k] = s
 		feeders[k] = s
@@ -145,7 +152,7 @@ func runE14(cfg Config) (fmt.Stringer, error) {
 		// MaxBatch 1 pins the historical per-job semantics — one slab
 		// handoff (and worker wakeup) per job — and Slabs 256 restores the
 		// 256-job producer runahead the pre-slab channel buffer gave it.
-		el, _, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0, "")
+		el, _, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0, "", nil)
 		if err != nil {
 			return nil, fmt.Errorf("E14: %w", err)
 		}
@@ -176,11 +183,11 @@ func runE16(cfg Config) (fmt.Stringer, error) {
 		"shards", "wall ms", "jobs/sec", "×E14", "allocs/job", "fleet mean flow", "same")
 	var scratch sched.Scratch
 	for _, shards := range []int{1, 2, 4, 8} {
-		perJobEl, perJobOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0, "")
+		perJobEl, perJobOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{MaxBatch: 1, Slabs: 256}, 0, "", nil)
 		if err != nil {
 			return nil, fmt.Errorf("E16: per-job reference: %w", err)
 		}
-		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0, "")
+		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0, "", nil)
 		if err != nil {
 			return nil, fmt.Errorf("E16: %w", err)
 		}
@@ -251,11 +258,11 @@ func runE18(cfg Config) (fmt.Stringer, error) {
 	t := stats.NewTable(fmt.Sprintf("E18 — compute floor on the batched shard path (n=%d, m=%d per shard, slab=256, ε=0.2)", n, m),
 		"shards", "wall ms", "jobs/sec", "×unhint", "allocs/job", "same")
 	for _, shards := range []int{1, 2, 4, 8} {
-		plainEl, plainOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0, "")
+		plainEl, plainOuts, _, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, 0, "", nil)
 		if err != nil {
 			return nil, fmt.Errorf("E18: unhinted reference: %w", err)
 		}
-		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, engine.PerShardHint(n, shards), "")
+		el, outs, allocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, engine.PerShardHint(n, shards), "", nil)
 		if err != nil {
 			return nil, fmt.Errorf("E18: %w", err)
 		}
@@ -352,11 +359,11 @@ func runE19(cfg Config) (fmt.Stringer, error) {
 		"row", "wall ms", "jobs/sec", "ratio", "allocs/job", "same")
 	for _, shards := range []int{1, 2, 4, 8} {
 		hint := engine.PerShardHint(n, shards)
-		heapEl, heapOuts, heapAllocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, hint, engine.EventQueueHeap)
+		heapEl, heapOuts, heapAllocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, hint, engine.EventQueueHeap, nil)
 		if err != nil {
 			return nil, fmt.Errorf("E19: heap reference: %w", err)
 		}
-		calEl, calOuts, calAllocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, hint, engine.EventQueueCalendar)
+		calEl, calOuts, calAllocs, err := bestShardRun(cfg, ins, m, shards, engine.ShardOptions{}, hint, engine.EventQueueCalendar, nil)
 		if err != nil {
 			return nil, fmt.Errorf("E19: calendar: %w", err)
 		}

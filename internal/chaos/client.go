@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -85,6 +86,13 @@ type Client struct {
 
 	HTTP *http.Client                     // default http.DefaultClient
 	Log  func(format string, args ...any) // optional progress log
+
+	// AttemptsC and FailuresC, when set, count connection attempts and
+	// failed attempts as they happen (nil disables — obs counters are
+	// nil-receiver safe). Many clients may share one pair: the loadgen
+	// registers a fleet-wide total across all its tenants.
+	AttemptsC *obs.Counter
+	FailuresC *obs.Counter
 }
 
 // Result summarizes a completed Run: every job's final ack status plus the
@@ -96,6 +104,15 @@ type Result struct {
 	Attempts    int
 	Kills       int
 	Truncations int
+
+	// FailedAttempts counts attempts that ended in an error or an
+	// incomplete ack set — including the injected ones — even when the
+	// run eventually succeeded. Attempts - FailedAttempts is therefore
+	// 1 on a successful run and 0 on a run that exhausted its budget.
+	FailedAttempts int
+	// LastErr is the most recent attempt failure, retained on success
+	// so callers can see what the retries were recovering from.
+	LastErr string
 }
 
 // errInjected marks a self-inflicted connection abort.
@@ -138,6 +155,7 @@ func (c *Client) Run(ctx context.Context, jobs []sched.Job) (*Result, error) {
 			mode = faultTruncate
 		}
 		res.Attempts = attempt
+		c.AttemptsC.Inc()
 		err := c.attempt(ctx, jobs, acked, mode, rng)
 		if len(acked) == len(jobs) {
 			for _, st := range acked {
@@ -156,6 +174,9 @@ func (c *Client) Run(ctx context.Context, jobs []sched.Job) (*Result, error) {
 			err = fmt.Errorf("stream ended with %d of %d jobs unacknowledged", len(jobs)-len(acked), len(jobs))
 		}
 		lastErr = err
+		res.FailedAttempts++
+		res.LastErr = err.Error()
+		c.FailuresC.Inc()
 		c.logf("tenant %d attempt %d: %v (%d/%d acked)", c.Tenant, attempt, err, len(acked), len(jobs))
 		if ctx.Err() != nil {
 			return nil, ctx.Err()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -91,7 +92,10 @@ func TestCrossQueueSnapshotResume(t *testing.T) {
 // and the Put-time Reset outside the timed window. The entire per-job feed
 // path — ingestion, event queue, dispatch, pending index, outcome recording
 // — must run on storage retained across Reset, so the steady state is
-// allocation-free (the number BENCH_baseline.json gates near zero).
+// allocation-free (the number BENCH_baseline.json gates near zero). The
+// session runs with full engine telemetry attached: counters, the depth
+// gauge and the drain histogram record on every slab, and the gate proves
+// they stay off the allocator.
 func BenchmarkSessionReuse(b *testing.B) {
 	cfg := workload.DefaultConfig(10000, 4, 3)
 	cfg.Load = 1.1
@@ -104,6 +108,7 @@ func BenchmarkSessionReuse(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	warm.SetTelemetry(engine.NewTelemetry(obs.NewRegistry(), "0"))
 	if err := warm.FeedBatch(ins.Jobs); err != nil {
 		b.Fatal(err)
 	}

@@ -70,6 +70,10 @@ func (s *Session) AdvanceTo(t float64) error { return s.es.AdvanceTo(t) }
 // Fed reports the number of jobs admitted so far (see engine.Session.Fed).
 func (s *Session) Fed() int { return s.es.Fed() }
 
+// SetTelemetry attaches engine telemetry to the underlying session
+// (outcome-neutral; see engine.Telemetry).
+func (s *Session) SetTelemetry(t engine.Telemetry) { s.es.SetTelemetry(t) }
+
 // Pending reports the number of jobs admitted but not yet completed or
 // rejected — the backpressure signal of engine.Session.Pending.
 func (s *Session) Pending() int { return s.es.Pending() }

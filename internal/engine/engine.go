@@ -166,6 +166,9 @@ type Core struct {
 	// map form is materialized exactly once, at Session.Close.
 	rec *sched.OutcomeRecorder
 	seq int32
+	// tel is the instrumentation bundle (zero value = disabled). It is
+	// outcome-neutral and deliberately survives Session.Reset.
+	tel Telemetry
 }
 
 func (c *Core) init(pol Policy, opt Options) error {
@@ -280,6 +283,7 @@ func (c *Core) Preempt(i int, t float64) (jk int, remVol float64) {
 func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
 	jk, remVol = c.Preempt(i, t)
 	c.rec.Reject(jk, t)
+	c.tel.Rejected.Inc()
 	return jk, remVol
 }
 
@@ -287,6 +291,7 @@ func (c *Core) RejectRunning(i int, t float64) (jk int, remVol float64) {
 // started (e.g. flowtime's Rule 2 shedding the largest pending job).
 func (c *Core) RejectPending(jk int, t float64) {
 	c.rec.Reject(jk, t)
+	c.tel.Rejected.Inc()
 }
 
 // Bookkeep schedules a policy bookkeeping event at time t, delivered to
@@ -313,6 +318,7 @@ func (c *Core) handle(e eventq.Event) {
 			Job: c.jobs[e.Job].ID, Machine: int(e.Machine), Start: m.RunStart, End: e.Time, Speed: m.RunSpeed,
 		})
 		c.rec.Complete(int(e.Job), e.Time)
+		c.tel.Completed.Inc()
 		// The started volume ran to completion; for a never-preempted job
 		// vol is an exact copy of Proc, so done lands on exactly 1.
 		c.done[e.Job] += m.RunVol / c.jobs[e.Job].Proc[e.Machine]

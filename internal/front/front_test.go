@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -537,11 +538,15 @@ func TestHTTPRefusals(t *testing.T) {
 
 // BenchmarkServerIngest measures the in-process ingestion path end to end —
 // Push, merge, dedupe, admission, shard feed, ack — per job, the number
-// BENCH_baseline.json gates.
+// BENCH_baseline.json gates. Telemetry runs live: every push sets the
+// stream-lag gauge, every sequenced job records decide/pop-wait/ack
+// histograms plus the admission and engine bundles, and the gate proves
+// the whole instrumented path still makes the allocs/op budget.
 func BenchmarkServerIngest(b *testing.B) {
 	cfg := testConfig(2, 2)
 	cfg.QueueDepth = 512
 	cfg.SizeHint = b.N // hints never change outcomes; they only presize per-job state
+	cfg.Obs = obs.NewRegistry()
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)

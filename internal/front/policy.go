@@ -22,6 +22,7 @@ type session interface {
 	Fed() int
 	Pending() int
 	EachFed(f func(j *sched.Job))
+	SetTelemetry(t engine.Telemetry)
 }
 
 // policySession pairs a live scheduler session with the policy-specific

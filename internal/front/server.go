@@ -56,6 +56,7 @@ import (
 	"fmt"
 	"os"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/snapshot"
 )
@@ -121,6 +123,13 @@ type Config struct {
 	// (after the fleet swap, before the post-resize checkpoint) or "post"
 	// (after the post-resize checkpoint). Empty disables.
 	CrashAtResize string
+
+	// Obs, when non-nil, enables full-stack telemetry on this registry:
+	// front-door counters/histograms (see telemetry.go), per-shard engine
+	// metrics, and the admission controller's gauges. Strictly
+	// outcome-neutral — reports and checkpoints are byte-identical with it
+	// on or off.
+	Obs *obs.Registry
 }
 
 // lineageMode reports whether checkpoints go through a snapshot.Lineage.
@@ -220,15 +229,20 @@ type Server struct {
 	shardHist       []int // shard count at birth and after each resize (appended under mu: HTTP reads it)
 
 	// Live counters for Stats (timing-dependent; never in the report).
-	fedN      atomic.Int64
-	preRejN   atomic.Int64
-	dupN      atomic.Int64
-	restampN  atomic.Int64
-	overflowN atomic.Int64
-	ckptN     atomic.Int64
-	ckptErrN  atomic.Int64
-	resizeN   atomic.Int64
+	// obs.Counters rather than raw atomics so that, with Config.Obs set,
+	// the exact same instances serve /metrics; they count either way.
+	fedN      obs.Counter
+	preRejN   obs.Counter
+	dupN      obs.Counter
+	restampN  obs.Counter
+	overflowN obs.Counter
+	ckptN     obs.Counter
+	ckptErrN  obs.Counter
+	resizeN   obs.Counter
 	lastState atomic.Int32
+
+	// obs is the telemetry bundle (nil = disabled; see telemetry.go).
+	obs *serverObs
 }
 
 // verdictRow is one decided job: its identity, the release/weight facts the
@@ -303,6 +317,16 @@ func build(cfg Config, restored []*policySession) (*Server, error) {
 		shardHist: []int{cfg.Shards},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Telemetry attaches to every session regardless of origin (fresh,
+	// pooled, restored); with Obs nil the zero bundle also scrubs any
+	// stale telemetry a pooled session carried from a previous server.
+	for k := range sessions {
+		sessions[k].SetTelemetry(s.shardTelemetry(k))
+	}
+	if cfg.Obs != nil {
+		s.obs = newServerObs(cfg.Obs, s)
+		adm.SetTelemetry(admission.NewTelemetry(cfg.Obs))
+	}
 	if cfg.lineageMode() {
 		l, err := snapshot.OpenLineage(cfg.CheckpointPath, lineageOptions(cfg))
 		if err != nil {
@@ -343,6 +367,10 @@ type Stream struct {
 	closed  bool // send side closed (CloseSend, Abort, kill, or drain)
 	err     error
 	acks    chan Ack
+	// qGauge tracks this tenant's queued-job backlog (stream lag) when
+	// telemetry is on; nil otherwise. Created before Server.mu is ever
+	// held (registry lock ordering) and updated under it (atomic set).
+	qGauge *obs.Gauge
 }
 
 // OpenStream registers a live stream for the tenant. One stream per tenant:
@@ -350,6 +378,13 @@ type Stream struct {
 func (s *Server) OpenStream(tenant int) (*Stream, error) {
 	if tenant < 0 || tenant > maxTenant {
 		return nil, fmt.Errorf("front: tenant %d out of range [0, %d]", tenant, maxTenant)
+	}
+	// The per-tenant gauge is created before s.mu is taken: registry
+	// get-or-create locks the registry, and a concurrent scrape holds the
+	// registry lock while sampling GaugeFuncs — never nest s.mu inside it.
+	var qg *obs.Gauge
+	if s.cfg.Obs != nil {
+		qg = s.cfg.Obs.Gauge(obs.Label("front_stream_queued", "tenant", strconv.Itoa(tenant)))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -359,7 +394,7 @@ func (s *Server) OpenStream(tenant int) (*Stream, error) {
 	if _, busy := s.streams[tenant]; busy {
 		return nil, ErrTenantBusy
 	}
-	st := &Stream{srv: s, tenant: tenant, acks: make(chan Ack, 2*s.cfg.QueueDepth)}
+	st := &Stream{srv: s, tenant: tenant, acks: make(chan Ack, 2*s.cfg.QueueDepth), qGauge: qg}
 	s.streams[tenant] = st
 	s.cond.Broadcast()
 	return st, nil
@@ -377,6 +412,7 @@ func (st *Stream) pop() sched.Job {
 	if st.head == len(st.buf) {
 		st.buf, st.head = st.buf[:0], 0
 	}
+	st.qGauge.Set(float64(st.size()))
 	return j
 }
 
@@ -410,6 +446,7 @@ func (st *Stream) Push(j sched.Job) error {
 	st.buf = append(st.buf, j)
 	st.queuedW += j.Weight
 	s.queued++
+	st.qGauge.Set(float64(st.size()))
 	s.cond.Broadcast()
 	return nil
 }
@@ -443,6 +480,7 @@ func (st *Stream) abortLocked(err error) {
 	st.closed = true
 	st.srv.queued -= st.size()
 	st.buf, st.head, st.queuedW = nil, 0, 0
+	st.qGauge.Set(0)
 	st.srv.cond.Broadcast()
 }
 
@@ -506,6 +544,10 @@ func headLess(a, b *Stream) bool {
 // whenever all open streams have one.
 func (s *Server) sequence() {
 	for {
+		var waitStart time.Time
+		if s.obs != nil {
+			waitStart = time.Now()
+		}
 		s.mu.Lock()
 		var st *Stream
 		for {
@@ -585,6 +627,18 @@ func (s *Server) sequence() {
 		queued := s.queued
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		if o := s.obs; o != nil {
+			// Merge-pop latency (lock + head wait) and sequencer occupancy:
+			// busyNS accumulates process() wall time, and the busy-fraction
+			// gauge divides it by wall clock — the saturation signal.
+			o.popWaitNS.Record(float64(time.Since(waitStart)))
+			t0 := time.Now()
+			s.process(st, j, queued)
+			d := time.Since(t0)
+			o.decideNS.Record(float64(d))
+			o.busyNS.Add(int64(d))
+			continue
+		}
 		s.process(st, j, queued)
 	}
 }
@@ -595,7 +649,7 @@ func (s *Server) process(st *Stream, j sched.Job, queued int) {
 	gid := st.tenant<<32 | j.ID
 	if _, dup := s.decided[gid]; dup {
 		s.dupN.Add(1)
-		st.ack(Ack{ID: j.ID, St: chaos.AckDup})
+		s.sendAck(st, Ack{ID: j.ID, St: chaos.AckDup})
 		return
 	}
 	if j.Release < s.watermark {
@@ -605,13 +659,17 @@ func (s *Server) process(st *Stream, j sched.Job, queued int) {
 		j.Release = s.watermark
 		s.restampN.Add(1)
 	}
-	state := s.adm.Observe(s.fleet.DepthTotal() + queued)
+	depth := s.fleet.DepthTotal() + queued
+	state := s.adm.Observe(depth)
 	s.lastState.Store(int32(state))
+	if o := s.obs; o != nil {
+		o.depth.Set(float64(depth))
+	}
 	if s.adm.Decide(st.tenant, j.Weight) == admission.PreReject {
 		s.decided[gid] = struct{}{}
 		s.preRej = append(s.preRej, preReject{gid: gid, release: j.Release, weight: j.Weight})
 		s.preRejN.Add(1)
-		st.ack(Ack{ID: j.ID, St: chaos.AckRej})
+		s.sendAck(st, Ack{ID: j.ID, St: chaos.AckRej})
 		return
 	}
 	local := j.ID
@@ -629,7 +687,7 @@ func (s *Server) process(st *Stream, j sched.Job, queued int) {
 		s.watermark = j.Release
 	}
 	s.fedN.Add(1)
-	st.ack(Ack{ID: local, St: chaos.AckOK})
+	s.sendAck(st, Ack{ID: local, St: chaos.AckOK})
 	if state == admission.Throttle && s.cfg.ThrottleDelay > 0 {
 		time.Sleep(s.cfg.ThrottleDelay)
 	}
@@ -719,6 +777,10 @@ func (s *Server) crashPoint(point string) {
 // way); after it, recovery resumes at the new count with the retired
 // outcomes in the carried ledger. Nothing in between is ever durable.
 func (s *Server) doResize(to int) error {
+	if o := s.obs; o != nil {
+		t0 := time.Now()
+		defer func() { o.resizeNS.Record(float64(time.Since(t0))) }()
+	}
 	if s.cfg.CheckpointPath != "" {
 		if err := s.writeCheckpoint(true); err != nil {
 			return fmt.Errorf("front: pre-resize checkpoint: %w", err)
@@ -772,6 +834,7 @@ func (s *Server) doResize(to int) error {
 					return nil, err
 				}
 			}
+			ps.SetTelemetry(s.shardTelemetry(k))
 			fresh[k] = ps
 			if s.cfg.Stall.Enabled() {
 				return chaos.NewStallFeeder(ps, s.cfg.Stall), nil
@@ -955,12 +1018,22 @@ func (s *Server) buildReport() (*Report, error) {
 // old generations; forceFull pins the write to a full snapshot (the resize
 // brackets and the final drain checkpoint — recovery anchors).
 func (s *Server) writeCheckpoint(forceFull bool) error {
+	if o := s.obs; o != nil {
+		t0 := time.Now()
+		defer func() { o.ckptNS.Record(float64(time.Since(t0))) }()
+	}
 	if s.lineage != nil {
 		s.ckptBuf.Reset()
 		if err := s.snapshotTo(&s.ckptBuf); err != nil {
 			return fmt.Errorf("front: writing checkpoint: %w", err)
 		}
-		_, err := s.lineage.Write(s.ckptBuf.Bytes(), forceFull)
+		entry, err := s.lineage.Write(s.ckptBuf.Bytes(), forceFull)
+		if o := s.obs; o != nil && err == nil {
+			o.ckptBytes.Record(float64(entry.Size))
+			if entry.Kind == "delta" && s.ckptBuf.Len() > 0 {
+				o.deltaRatio.Set(float64(entry.Size) / float64(s.ckptBuf.Len()))
+			}
+		}
 		return err
 	}
 	path := s.cfg.CheckpointPath
@@ -983,7 +1056,15 @@ func (s *Server) writeCheckpoint(forceFull bool) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if o := s.obs; o != nil {
+		if fi, err := os.Stat(path); err == nil {
+			o.ckptBytes.Record(float64(fi.Size()))
+		}
+	}
+	return nil
 }
 
 // Stats is the live counter set served by /v1/stats. Everything here is
@@ -1016,14 +1097,14 @@ func (s *Server) Stats() Stats {
 		Queued:       queued,
 		Streams:      streams,
 		Draining:     draining,
-		Fed:          s.fedN.Load(),
-		PreRejected:  s.preRejN.Load(),
-		Dup:          s.dupN.Load(),
-		Restamped:    s.restampN.Load(),
-		AckOverflows: s.overflowN.Load(),
-		Checkpoints:  s.ckptN.Load(),
-		CkptErrors:   s.ckptErrN.Load(),
-		Resizes:      s.resizeN.Load(),
+		Fed:          s.fedN.Value(),
+		PreRejected:  s.preRejN.Value(),
+		Dup:          s.dupN.Value(),
+		Restamped:    s.restampN.Value(),
+		AckOverflows: s.overflowN.Value(),
+		Checkpoints:  s.ckptN.Value(),
+		CkptErrors:   s.ckptErrN.Value(),
+		Resizes:      s.resizeN.Value(),
 	}
 }
 

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram.
+const NumBuckets = 64
+
+// Histogram is a fixed-bucket log-scale histogram. Bucket boundaries
+// are powers of two: bucket 0 holds values below 1 (upper bound 1),
+// bucket k in [1, 62] holds values in [2^(k-1), 2^k), and bucket 63 is
+// the +Inf overflow. Bucketing is a single bits.Len64, so Record is
+// lock-free and allocation-free: two atomic adds plus a CAS loop for
+// the float64 sum. There is no dynamic state — the fixed bucket array
+// is what keeps the record path allocation-free at steady state.
+//
+// Values are whatever unit the caller picks (this repo records
+// nanoseconds and bytes); sub-1 and negative values all land in
+// bucket 0. A nil *Histogram is a no-op.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func bucketOf(v float64) int {
+	if !(v >= 1) { // negatives, zero, sub-1, NaN
+		return 0
+	}
+	if v >= 1<<62 {
+		return NumBuckets - 1
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket k: 1 for
+// bucket 0, 2^k for 1 <= k <= 62, +Inf for bucket 63.
+func BucketUpper(k int) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case k >= NumBuckets-1:
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, k)
+}
+
+// Record adds one observation. Safe for concurrent use.
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Counts [NumBuckets]uint64
+}
+
+// Snapshot copies the histogram. Each field is read atomically but the
+// copy as a whole is not a single atomic cut: under concurrent writes
+// the bucket totals may briefly disagree with Count by in-flight
+// observations. Count is read before the buckets and each writer
+// increments its bucket before the count, so a snapshot's bucket total
+// is always >= its Count. Once writers stop, a snapshot is exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	for k := range h.counts {
+		s.Counts[k] = h.counts[k].Load()
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 <= q <= 1) of the snapshot, or 0 for an empty snapshot.
+// The answer is an over-estimate by at most one power of two.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for k := 0; k < NumBuckets; k++ {
+		cum += s.Counts[k]
+		if cum >= rank {
+			return BucketUpper(k)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Mean returns the arithmetic mean of the snapshot (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

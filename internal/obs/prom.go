@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one parsed Prometheus text exposition: full series name
+// (labels included, exactly as written) to sample value. It is the
+// client half of the obs package, used by loadgen's -scrape table and
+// the CI scrape smoke to read back what WritePrometheus rendered.
+type Scrape map[string]float64
+
+// ParseText parses a Prometheus text exposition. Comment and blank
+// lines are skipped; every sample line must be "<series> <value>".
+func ParseText(r io.Reader) (Scrape, error) {
+	sc := make(Scrape)
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for s.Scan() {
+		lineNo++
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: exposition line %d: no value: %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %v", lineNo, err)
+		}
+		sc[strings.TrimSpace(line[:i])] = v
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// Value returns the sample for the exact series name, or 0 if absent.
+func (sc Scrape) Value(name string) float64 { return sc[name] }
+
+// Has reports whether the exact series name was present.
+func (sc Scrape) Has(name string) bool {
+	_, ok := sc[name]
+	return ok
+}
+
+// Quantile reconstructs the q-th quantile upper bound from the
+// cumulative _bucket series of an unlabeled histogram named base.
+// Returns 0 when the histogram is absent or empty.
+func (sc Scrape) Quantile(base string, q float64) float64 {
+	type point struct{ le, cum float64 }
+	var pts []point
+	prefix := base + "_bucket{"
+	for k, v := range sc {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		li := strings.Index(k, `le="`)
+		if li < 0 {
+			continue
+		}
+		rest := k[li+4:]
+		ri := strings.IndexByte(rest, '"')
+		if ri < 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if rest[:ri] != "+Inf" {
+			f, err := strconv.ParseFloat(rest[:ri], 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		pts = append(pts, point{le, v})
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+	total := pts[len(pts)-1].cum
+	if total == 0 {
+		return 0
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, p := range pts {
+		if p.cum >= rank {
+			return p.le
+		}
+	}
+	return math.Inf(1)
+}
